@@ -1,0 +1,61 @@
+// Package repro_test benchmarks every reproduced exhibit: one benchmark
+// per experiment E1-E21 (the paper, a survey, prints no numbered tables
+// or figures; DESIGN.md maps each claim to an experiment). Run with
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchCfg trims Monte-Carlo fidelity so a benchmark iteration stays in
+// the hundreds-of-milliseconds range.
+func benchCfg() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Frames = 10
+	cfg.PayloadBytes = 100
+	return cfg
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		tables := r.Run(cfg)
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE01Evolution(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE02ProcessingGain(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE03Waterfall(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE04MimoCapacity(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE05Range(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE06Ldpc(b *testing.B)           { benchExperiment(b, "E6") }
+func BenchmarkE07Beamforming(b *testing.B)    { benchExperiment(b, "E7") }
+func BenchmarkE08MeshCoverage(b *testing.B)   { benchExperiment(b, "E8") }
+func BenchmarkE09MeshRouting(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Coop(b *testing.B)           { benchExperiment(b, "E10") }
+func BenchmarkE11Papr(b *testing.B)           { benchExperiment(b, "E11") }
+func BenchmarkE12ChainSwitch(b *testing.B)    { benchExperiment(b, "E12") }
+func BenchmarkE13Tpc(b *testing.B)            { benchExperiment(b, "E13") }
+func BenchmarkE14Psm(b *testing.B)            { benchExperiment(b, "E14") }
+func BenchmarkE15Aggregation(b *testing.B)    { benchExperiment(b, "E15") }
+func BenchmarkE16Acquisition(b *testing.B)    { benchExperiment(b, "E16") }
+func BenchmarkE17HiddenTerminal(b *testing.B) { benchExperiment(b, "E17") }
+func BenchmarkE18Signature(b *testing.B)      { benchExperiment(b, "E18") }
+func BenchmarkE19Anomaly(b *testing.B)        { benchExperiment(b, "E19") }
+func BenchmarkE20EnergyPerBit(b *testing.B)   { benchExperiment(b, "E20") }
+func BenchmarkE21Coexistence(b *testing.B)    { benchExperiment(b, "E21") }

@@ -1,0 +1,71 @@
+// Command meshsim explores mesh topologies: routes, end-to-end
+// throughput under both routing metrics, and gateway coverage.
+//
+// Usage:
+//
+//	meshsim -topology linear -hops 4 -spacing 40
+//	meshsim -topology grid -k 3 -spacing 120 -coverage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/channel"
+	"repro/internal/linkmodel"
+	"repro/internal/mesh"
+)
+
+func main() {
+	topology := flag.String("topology", "linear", "linear | grid")
+	hops := flag.Int("hops", 4, "linear: number of hops")
+	k := flag.Int("k", 3, "grid: side length in nodes")
+	spacing := flag.Float64("spacing", 40, "node spacing in metres")
+	fading := flag.Bool("fading", false, "Rayleigh fading margins")
+	coverage := flag.Bool("coverage", false, "also compute area coverage")
+	flag.Parse()
+
+	link := linkmodel.Link{
+		Modes:    linkmodel.OfdmModes(),
+		Budget:   channel.DefaultLinkBudget(20e6),
+		PathLoss: channel.Model24GHz(),
+		Fading:   *fading,
+	}
+
+	var nodes []mesh.Node
+	switch *topology {
+	case "linear":
+		nodes = mesh.LinearTopology(*hops, *spacing)
+	case "grid":
+		nodes = mesh.GridTopology(*k, *spacing)
+	default:
+		fmt.Fprintf(os.Stderr, "meshsim: unknown topology %q\n", *topology)
+		os.Exit(1)
+	}
+	n := mesh.New(nodes, link)
+	dst := len(nodes) - 1
+
+	fmt.Printf("topology=%s nodes=%d spacing=%gm fading=%v\n", *topology, len(nodes), *spacing, *fading)
+	for _, m := range []struct {
+		name   string
+		metric mesh.Metric
+	}{{"hop-count", mesh.HopCount}, {"airtime", mesh.Airtime}} {
+		r, ok := n.ShortestPath(0, dst, m.metric)
+		if !ok {
+			fmt.Printf("%-10s unreachable\n", m.name)
+			continue
+		}
+		fmt.Printf("%-10s path=%v  e2e=%.1f Mbps\n", m.name, r.Path, r.ThroughputMbps)
+	}
+
+	if *coverage {
+		side := *spacing * float64(*k)
+		if *topology == "linear" {
+			side = *spacing * float64(*hops)
+		}
+		c := n.Coverage(side, side/25, 6, mesh.Airtime)
+		fmt.Printf("coverage: %.0f%% of %dx%dm served at >=6 Mbps (mean %.1f Mbps)\n",
+			100*c.ServedFraction, int(side), int(side), c.MeanRateMbps)
+	}
+}

@@ -1,0 +1,45 @@
+// Command powersim prints device power budgets across antenna
+// configurations and power-management policies.
+//
+// Usage:
+//
+//	powersim
+//	powersim -duty 0.01 -output 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/power"
+)
+
+func main() {
+	duty := flag.Float64("duty", 0.01, "receive traffic duty cycle for the policy comparison")
+	output := flag.Float64("output", 0.05, "average radiated power in watts")
+	papr := flag.Float64("papr", 10, "waveform PAPR in dB")
+	flag.Parse()
+
+	d := power.DefaultDevice()
+	fmt.Printf("device power by configuration (radiated %.0f mW, PAPR %.0f dB)\n", *output*1000, *papr)
+	fmt.Println("config   TX W    RX W    listen W")
+	for _, n := range []int{1, 2, 3, 4} {
+		c := power.RadioConfig{TxChains: n, RxChains: n, Streams: n, OutputW: *output, PaprDB: *papr}
+		fmt.Printf("%dx%d      %-7.3f %-7.3f %.3f\n", n, n, d.TxPowerW(c), d.RxPowerW(c), d.ListenPowerW(n))
+	}
+
+	fmt.Printf("\nrx-chain policy over 10 s at %.1f%% duty (4x4):\n", *duty*100)
+	c4 := power.RadioConfig{TxChains: 4, RxChains: 4, Streams: 4, OutputW: *output, PaprDB: *papr}
+	tr := power.TrafficPattern{DurationS: 10, RxBusyS: 10 * *duty, RxEventsN: int(10 * *duty / 0.002)}
+	on := d.RxEnergyJ(c4, tr, power.AlwaysOn)
+	sniff := d.RxEnergyJ(c4, tr, power.SniffThenWake)
+	fmt.Printf("always-on:       %.3f J\n", on)
+	fmt.Printf("sniff-then-wake: %.3f J  (%.1fx saving)\n", sniff, on/sniff)
+
+	fmt.Println("\nPA efficiency vs waveform PAPR:")
+	pa := power.DefaultPA()
+	for _, p := range []float64{0, 3, 6, 10, 12} {
+		b := power.RequiredBackoffDB(p)
+		fmt.Printf("PAPR %4.0f dB -> backoff %4.0f dB -> efficiency %4.1f%%\n", p, b, 100*pa.EfficiencyAt(b))
+	}
+}

@@ -1,0 +1,118 @@
+// Command wlansim runs single-link PHY simulations: pick a generation,
+// rate, channel and SNR sweep, get PER/BER rows.
+//
+// Usage:
+//
+//	wlansim -phy ofdm -rate 54 -snr 10:30:2 -frames 200 -payload 1000
+//	wlansim -phy ht -mcs 15 -width40 -channel multipath -snr 20:40:5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+func main() {
+	phyName := flag.String("phy", "ofdm", "dsss | fhss | cck | ofdm | ht")
+	rate := flag.Float64("rate", 54, "PHY rate in Mbps (SISO PHYs)")
+	mcs := flag.Int("mcs", 0, "HT MCS index 0-31")
+	width40 := flag.Bool("width40", false, "HT: 40 MHz channel")
+	sgi := flag.Bool("sgi", false, "HT: short guard interval")
+	ldpc := flag.Bool("ldpc", false, "HT: LDPC coding")
+	nrx := flag.Int("nrx", 0, "HT: receive antennas (default = streams)")
+	stbc := flag.Bool("stbc", false, "HT: Alamouti STBC")
+	beamform := flag.Bool("beamform", false, "HT: SVD beamforming")
+	ntx := flag.Int("ntx", 0, "HT: transmit antennas")
+	chanName := flag.String("channel", "awgn", "awgn | rayleigh | multipath")
+	snrSpec := flag.String("snr", "5:25:5", "SNR sweep lo:hi:step in dB")
+	frames := flag.Int("frames", 100, "frames per SNR point")
+	payload := flag.Int("payload", 500, "payload bytes")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	lo, hi, step := parseSweep(*snrSpec)
+	src := rng.New(*seed)
+
+	if *phyName == "ht" {
+		p, err := phy.NewHt(phy.HtConfig{
+			MCS: *mcs, Width40: *width40, ShortGI: *sgi, LDPC: *ldpc,
+			NRx: *nrx, STBC: *stbc, Beamform: *beamform, NTx: *ntx,
+		})
+		fail(err)
+		factory := phy.FlatMimoChannel
+		if *chanName == "multipath" {
+			factory = phy.MultipathMimoChannel(3, 0.5)
+		}
+		fmt.Printf("%s, channel=%s, %d frames x %dB\n", p.Name(), *chanName, *frames, *payload)
+		fmt.Println("SNR dB  PER     BER")
+		for snr := lo; snr <= hi+1e-9; snr += step {
+			res := phy.MeasurePERMimo(p, factory, snr, *payload, *frames, src.Split())
+			fmt.Printf("%-7.1f %-7.4f %.5f\n", snr, res.PER(), res.BER())
+		}
+		return
+	}
+
+	var p phy.LinkPHY
+	var err error
+	switch *phyName {
+	case "dsss":
+		p, err = phy.NewDsss(*rate)
+	case "fhss":
+		p, err = phy.NewFhss(*rate)
+	case "cck":
+		p, err = phy.NewCck(*rate)
+	case "ofdm":
+		p, err = phy.NewOfdm(*rate)
+	default:
+		err = fmt.Errorf("unknown phy %q", *phyName)
+	}
+	fail(err)
+
+	factory := phy.AWGNChannel
+	switch *chanName {
+	case "awgn":
+	case "rayleigh":
+		factory = phy.RayleighChannel
+	case "multipath":
+		factory = phy.MultipathChannel(6, 0.5)
+	default:
+		fail(fmt.Errorf("unknown channel %q", *chanName))
+	}
+
+	fmt.Printf("%s, channel=%s, %d frames x %dB\n", p.Name(), *chanName, *frames, *payload)
+	fmt.Println("SNR dB  PER     BER")
+	for snr := lo; snr <= hi+1e-9; snr += step {
+		res := phy.MeasurePER(p, factory, snr, *payload, *frames, src.Split())
+		fmt.Printf("%-7.1f %-7.4f %.5f\n", snr, res.PER(), res.BER())
+	}
+}
+
+func parseSweep(spec string) (lo, hi, step float64) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		fail(fmt.Errorf("snr sweep must be lo:hi:step, got %q", spec))
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		fail(err)
+		vals[i] = v
+	}
+	if vals[2] <= 0 {
+		fail(fmt.Errorf("snr step must be positive"))
+	}
+	return vals[0], vals[1], vals[2]
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlansim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Evolution walks the paper's generational ladder end to end: the same
+// payload is transmitted by each 802.11 era's PHY and the airtime,
+// nominal rate and spectral efficiency are compared.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/rng"
+)
+
+func main() {
+	src := rng.New(7)
+	payload := src.Bytes(500)
+	noise := channel.NoiseVarFromSNRdB(35)
+
+	fmt.Println("generation                      on-air us  nominal Mbps  bps/Hz")
+	show := func(name string, airUs, rate, bw float64) {
+		fmt.Printf("%-30s  %-9.0f  %-12.1f  %.2f\n", name, airUs, rate, rate/bw)
+	}
+
+	for _, rate := range []float64{1, 2} {
+		p, _ := phy.NewDsss(rate)
+		tx := p.TxFrame(payload)
+		if _, ok := p.RxFrame(channel.AWGN(tx, noise, src), noise); !ok {
+			panic("dsss frame lost at 35 dB")
+		}
+		show(p.Name(), float64(len(tx))/p.BandwidthMHz(), p.RateMbps(), p.BandwidthMHz())
+	}
+	for _, rate := range []float64{5.5, 11} {
+		p, _ := phy.NewCck(rate)
+		tx := p.TxFrame(payload)
+		if _, ok := p.RxFrame(channel.AWGN(tx, noise, src), noise); !ok {
+			panic("cck frame lost at 35 dB")
+		}
+		show(p.Name(), float64(len(tx))/p.BandwidthMHz(), p.RateMbps(), p.BandwidthMHz())
+	}
+	for _, rate := range []float64{6, 24, 54} {
+		p, _ := phy.NewOfdm(rate)
+		tx := p.TxFrame(payload)
+		if _, ok := p.RxFrame(channel.AWGN(tx, noise, src), noise); !ok {
+			panic("ofdm frame lost at 35 dB")
+		}
+		show(p.Name(), float64(len(tx))/p.BandwidthMHz(), p.RateMbps(), p.BandwidthMHz())
+	}
+	for _, cfg := range []phy.HtConfig{
+		{MCS: 7},
+		{MCS: 15, NRx: 2},
+		{MCS: 31, Width40: true, ShortGI: true, NRx: 4},
+	} {
+		p, err := phy.NewHt(cfg)
+		if err != nil {
+			panic(err)
+		}
+		ch := channel.NewMIMOTDL(p.NumRx(), p.NumTx(), 2, 0.3, src)
+		tx := p.TxFrame(payload)
+		rx := ch.Apply(tx)
+		for j := range rx {
+			rx[j] = channel.AWGN(rx[j], noise, src)
+		}
+		_, ok := p.RxFrame(rx, noise)
+		status := ""
+		if !ok {
+			status = " (lost on this channel draw)"
+		}
+		show(p.Name()+status, float64(len(tx[0]))/p.BandwidthMHz(), p.RateMbps(), p.BandwidthMHz())
+	}
+}

@@ -1,0 +1,51 @@
+// Mimorange reproduces the paper's range claim interactively: adapted
+// goodput vs distance for SISO, receive diversity and beamformed MIMO
+// under Rayleigh fading and the TGn path-loss law.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/linkmodel"
+)
+
+func main() {
+	budget := channel.DefaultLinkBudget(20e6)
+	pl := channel.Model24GHz()
+	mk := func(opt linkmodel.HtOptions) linkmodel.Link {
+		return linkmodel.Link{Modes: linkmodel.HtModes(opt), Budget: budget, PathLoss: pl, Fading: true}
+	}
+	configs := []struct {
+		name string
+		link linkmodel.Link
+	}{
+		{"1x1 SISO", mk(linkmodel.HtOptions{Streams: 1, RxChains: 1})},
+		{"1x2 MRC", mk(linkmodel.HtOptions{Streams: 1, RxChains: 2})},
+		{"1x4 MRC", mk(linkmodel.HtOptions{Streams: 1, RxChains: 4})},
+		{"4x4 BF", mk(linkmodel.HtOptions{Streams: 1, RxChains: 4, Beamform: true, TxChains: 4})},
+	}
+
+	fmt.Println("adapted goodput (Mbps) vs distance, Rayleigh fading:")
+	fmt.Printf("%-10s", "dist m")
+	for _, c := range configs {
+		fmt.Printf("%-10s", c.name)
+	}
+	fmt.Println()
+	for _, d := range []float64{5, 10, 20, 40, 80, 160, 320} {
+		fmt.Printf("%-10.0f", d)
+		for _, c := range configs {
+			fmt.Printf("%-10.1f", c.link.GoodputAt(d))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nrange at 6.5 Mbps minimum service:")
+	base := configs[0].link.RangeForRate(6.5)
+	for _, c := range configs {
+		r := c.link.RangeForRate(6.5)
+		bar := strings.Repeat("#", int(r/base*10))
+		fmt.Printf("%-10s %6.0f m  (%.1fx)  %s\n", c.name, r, r/base, bar)
+	}
+}

@@ -1,0 +1,58 @@
+// Powerbudget walks the paper's low-power arguments numerically: PAPR
+// driving PA efficiency, MIMO chain counts multiplying device power, and
+// the two mitigations (chain switching, PSM).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/power"
+	"repro/internal/rng"
+)
+
+func main() {
+	src := rng.New(3)
+	payload := src.Bytes(800)
+	pa := power.DefaultPA()
+
+	fmt.Println("1. waveform PAPR -> PA efficiency")
+	dsss, _ := phy.NewDsss(2)
+	ofdm, _ := phy.NewOfdm(54)
+	for _, w := range []struct {
+		name    string
+		samples []complex128
+	}{
+		{"DSSS DQPSK", dsss.TxFrame(payload)},
+		{"OFDM 64-QAM", ofdm.TxFrame(payload)},
+	} {
+		papr := dsp.PAPRdB(w.samples)
+		backoff := power.RequiredBackoffDB(papr)
+		fmt.Printf("   %-12s PAPR %4.1f dB -> efficiency %4.1f%%\n",
+			w.name, papr, 100*pa.EfficiencyAt(backoff))
+	}
+
+	fmt.Println("\n2. MIMO chains multiply device power")
+	d := power.DefaultDevice()
+	for _, n := range []int{1, 2, 4} {
+		c := power.RadioConfig{TxChains: n, RxChains: n, Streams: n, OutputW: 0.05, PaprDB: 10}
+		fmt.Printf("   %dx%d: TX %.2f W, RX %.2f W\n", n, n, d.TxPowerW(c), d.RxPowerW(c))
+	}
+
+	fmt.Println("\n3. mitigation: sniff with one chain, wake on packet (1% duty)")
+	c4 := power.RadioConfig{TxChains: 4, RxChains: 4, Streams: 4, OutputW: 0.05, PaprDB: 10}
+	tr := power.TrafficPattern{DurationS: 10, RxBusyS: 0.1, RxEventsN: 50}
+	on := d.RxEnergyJ(c4, tr, power.AlwaysOn)
+	sniff := d.RxEnergyJ(c4, tr, power.SniffThenWake)
+	fmt.Printf("   always-on %.2f J vs sniff-then-wake %.2f J (%.1fx saving)\n", on, sniff, on/sniff)
+
+	fmt.Println("\n4. mitigation: power-save mode vs constantly awake (60 s, 20 fps downlink)")
+	cfg := mac.DefaultPsm()
+	psm := mac.RunPsm(cfg, 60000, src.Split())
+	cam := mac.RunCam(cfg, 60000, src.Split())
+	fmt.Printf("   CAM: %.2f J, latency %.1f ms\n", cam.EnergyJ, cam.AvgLatencyMs)
+	fmt.Printf("   PSM: %.2f J, latency %.1f ms (%.0fx energy saving for %.0fx latency)\n",
+		psm.EnergyJ, psm.AvgLatencyMs, cam.EnergyJ/psm.EnergyJ, psm.AvgLatencyMs/cam.AvgLatencyMs)
+}

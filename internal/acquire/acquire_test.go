@@ -1,0 +1,141 @@
+package acquire
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/ofdm"
+	"repro/internal/rng"
+)
+
+func TestSTFStructure(t *testing.T) {
+	g := ofdm.Standard20()
+	stf := BuildSTF(g)
+	if len(stf) != STFLen() {
+		t.Fatalf("STF length %d, want %d", len(stf), STFLen())
+	}
+	if got := dsp.MeanPower(stf); math.Abs(got-1) > 1e-9 {
+		t.Errorf("STF power %v, want 1", got)
+	}
+	// Period-16 structure: sample n equals sample n+16.
+	for n := 0; n+stfPeriod < len(stf); n++ {
+		if d := stf[n] - stf[n+stfPeriod]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatalf("STF not periodic at %d", n)
+		}
+	}
+}
+
+func embed(src *rng.Source, signal []complex128, offset, tail int, noiseVar float64) []complex128 {
+	capture := src.ComplexGaussianVec(offset+len(signal)+tail, noiseVar)
+	for i, v := range signal {
+		capture[offset+i] += v
+	}
+	return capture
+}
+
+func TestDetectFindsSTF(t *testing.T) {
+	src := rng.New(1)
+	g := ofdm.Standard20()
+	stf := BuildSTF(g)
+	for _, offset := range []int{0, 37, 200, 501} {
+		capture := embed(src, stf, offset, 100, 0.01)
+		det := Detect(capture, 0.6)
+		if !det.Found {
+			t.Fatalf("offset %d: STF not detected", offset)
+		}
+		// The metric plateaus across the STF, so Start is only coarse:
+		// anywhere inside the field is acceptable (fine timing resolves it).
+		if d := det.Start - offset; d < -4 || d > STFLen() {
+			t.Errorf("offset %d: detected at %d", offset, det.Start)
+		}
+	}
+}
+
+func TestDetectIgnoresNoise(t *testing.T) {
+	src := rng.New(2)
+	falseAlarms := 0
+	for trial := 0; trial < 50; trial++ {
+		capture := src.ComplexGaussianVec(600, 1)
+		if Detect(capture, 0.6).Found {
+			falseAlarms++
+		}
+	}
+	if falseAlarms > 2 {
+		t.Errorf("%d/50 false alarms on pure noise", falseAlarms)
+	}
+}
+
+func TestDetectShortCapture(t *testing.T) {
+	if Detect(make([]complex128, 10), 0.5).Found {
+		t.Error("detection on a too-short capture")
+	}
+}
+
+func TestCoarseCFOEstimate(t *testing.T) {
+	src := rng.New(3)
+	g := ofdm.Standard20()
+	stf := BuildSTF(g)
+	for _, fo := range []float64{-0.01, -0.002, 0.003, 0.012} {
+		capture := embed(src, ApplyCFO(stf, fo), 50, 50, 0.001)
+		det := Detect(capture, 0.5)
+		if !det.Found {
+			t.Fatalf("fo %v: not detected", fo)
+		}
+		if math.Abs(det.CoarseFo-fo) > 0.002 {
+			t.Errorf("fo %v: estimated %v", fo, det.CoarseFo)
+		}
+	}
+}
+
+func TestFineCFOPrecision(t *testing.T) {
+	src := rng.New(4)
+	g := ofdm.Standard20()
+	ltf := g.BuildLTF()
+	const fo = 0.0015
+	capture := embed(src, ApplyCFO(ltf, fo), 0, 20, 1e-5)
+	got := FineCFO(capture, g, 0)
+	if math.Abs(got-fo) > 1e-4 {
+		t.Errorf("fine CFO %v, want %v", got, fo)
+	}
+}
+
+func TestCorrectCFOInvertsApply(t *testing.T) {
+	src := rng.New(5)
+	x := src.ComplexGaussianVec(256, 1)
+	y := CorrectCFO(ApplyCFO(x, 0.004), 0.004)
+	for i := range x {
+		if d := x[i] - y[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatal("CFO correction did not invert application")
+		}
+	}
+}
+
+func TestFineTimingLocatesLTF(t *testing.T) {
+	src := rng.New(6)
+	g := ofdm.Standard20()
+	burst := append(BuildSTF(g), g.BuildLTF()...)
+	const offset = 83
+	capture := embed(src, burst, offset, 80, 0.001)
+	got := FineTiming(capture, g, offset)
+	want := offset + STFLen()
+	if got != want {
+		t.Errorf("LTF located at %d, want %d", got, want)
+	}
+}
+
+func TestFineTimingThroughMultipath(t *testing.T) {
+	// With a dispersive channel the best correlation lands within the CP
+	// of the true position, which per-carrier equalization absorbs.
+	src := rng.New(7)
+	g := ofdm.Standard20()
+	burst := append(BuildSTF(g), g.BuildLTF()...)
+	tdl := channel.NewTDL(4, 0.5, src)
+	capture := embed(src, tdl.Apply(burst), 60, 80, 0.001)
+	got := FineTiming(capture, g, 60)
+	want := 60 + STFLen()
+	if got < want-g.CP || got > want+4 {
+		t.Errorf("LTF located at %d, want within CP of %d", got, want)
+	}
+}

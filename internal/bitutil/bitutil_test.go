@@ -1,0 +1,215 @@
+package bitutil
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesBitsRoundTrip(t *testing.T) {
+	data := []byte{0x00, 0xFF, 0xA5, 0x3C, 0x01}
+	bits := BytesToBits(data)
+	if len(bits) != len(data)*8 {
+		t.Fatalf("bit count = %d, want %d", len(bits), len(data)*8)
+	}
+	back := BitsToBytes(bits)
+	if !bytes.Equal(back, data) {
+		t.Errorf("round trip %x -> %x", data, back)
+	}
+}
+
+func TestBytesToBitsOrder(t *testing.T) {
+	// 0x01 must transmit LSB first: 1 then seven zeros.
+	bits := BytesToBits([]byte{0x01})
+	want := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	if !bytes.Equal(bits, want) {
+		t.Errorf("bits of 0x01 = %v, want %v", bits, want)
+	}
+	bits = BytesToBits([]byte{0x80})
+	want = []byte{0, 0, 0, 0, 0, 0, 0, 1}
+	if !bytes.Equal(bits, want) {
+		t.Errorf("bits of 0x80 = %v, want %v", bits, want)
+	}
+}
+
+func TestBitsToBytesPartial(t *testing.T) {
+	out := BitsToBytes([]byte{1, 1, 0, 1})
+	if len(out) != 1 || out[0] != 0x0B {
+		t.Errorf("partial pack = %x, want 0b1011", out)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(BitsToBytes(BytesToBits(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayCode(t *testing.T) {
+	// Gray codes of 0..7
+	want := []uint{0, 1, 3, 2, 6, 7, 5, 4}
+	for v, g := range want {
+		if got := GrayEncode(uint(v)); got != g {
+			t.Errorf("GrayEncode(%d) = %d, want %d", v, got, g)
+		}
+		if got := GrayDecode(g); got != uint(v) {
+			t.Errorf("GrayDecode(%d) = %d, want %d", g, got, v)
+		}
+	}
+}
+
+func TestGrayAdjacency(t *testing.T) {
+	// Successive Gray codes differ in exactly one bit — the property that
+	// makes Gray mapping minimize bit errors between adjacent symbols.
+	for v := uint(0); v < 255; v++ {
+		x := GrayEncode(v) ^ GrayEncode(v+1)
+		if x == 0 || x&(x-1) != 0 {
+			t.Fatalf("Gray codes of %d and %d differ in more than one bit", v, v+1)
+		}
+	}
+}
+
+func TestGrayRoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		return GrayDecode(GrayEncode(uint(v))) == uint(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := []byte{0, 1, 1, 0, 1}
+	b := []byte{1, 1, 0, 0, 1}
+	if got := HammingDistance(a, b); got != 2 {
+		t.Errorf("HammingDistance = %d, want 2", got)
+	}
+	if got := HammingDistance(a, a); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+	if got := HammingDistance(a, b[:2]); got != 1 {
+		t.Errorf("unequal length distance = %d, want 1", got)
+	}
+}
+
+func TestCountOnes(t *testing.T) {
+	if got := CountOnes([]byte{0, 1, 1, 0, 1, 0}); got != 3 {
+		t.Errorf("CountOnes = %d", got)
+	}
+	if got := CountOnes(nil); got != 0 {
+		t.Errorf("CountOnes(nil) = %d", got)
+	}
+}
+
+func TestPRBSPeriod(t *testing.T) {
+	// A maximal-length 7-bit LFSR has period 127.
+	p := NewPRBS(0x7F)
+	seq := p.Sequence(254)
+	for i := 0; i < 127; i++ {
+		if seq[i] != seq[i+127] {
+			t.Fatalf("sequence not periodic with period 127 at %d", i)
+		}
+	}
+	// Within one period it must not repeat with any shorter period that
+	// divides evenly into a check window.
+	half := true
+	for i := 0; i < 63; i++ {
+		if seq[i] != seq[i+63] {
+			half = false
+			break
+		}
+	}
+	if half {
+		t.Error("PRBS repeated with period 63; LFSR is not maximal length")
+	}
+}
+
+func TestPRBSBalance(t *testing.T) {
+	// Maximal-length sequences contain 64 ones and 63 zeros per period.
+	p := NewPRBS(1)
+	seq := p.Sequence(127)
+	if got := CountOnes(seq); got != 64 {
+		t.Errorf("ones per period = %d, want 64", got)
+	}
+}
+
+func TestPRBSZeroSeed(t *testing.T) {
+	p := NewPRBS(0)
+	seq := p.Sequence(127)
+	if CountOnes(seq) == 0 {
+		t.Error("zero seed must be remapped; got all-zero sequence")
+	}
+}
+
+func TestFCSMatchesStdlib(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	if got, want := FCS32(data), crc32.ChecksumIEEE(data); got != want {
+		t.Errorf("FCS32 = %08x, stdlib = %08x", got, want)
+	}
+}
+
+func TestAppendCheckFCS(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	frame := AppendFCS(payload)
+	if len(frame) != len(payload)+4 {
+		t.Fatalf("frame length = %d", len(frame))
+	}
+	got, ok := CheckFCS(frame)
+	if !ok {
+		t.Fatal("CheckFCS rejected an intact frame")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload mismatch: %v", got)
+	}
+}
+
+func TestCheckFCSDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	payload := make([]byte, 64)
+	rng.Read(payload)
+	frame := AppendFCS(payload)
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), frame...)
+		pos := rng.Intn(len(corrupted))
+		bit := byte(1) << uint(rng.Intn(8))
+		corrupted[pos] ^= bit
+		if _, ok := CheckFCS(corrupted); ok {
+			t.Fatalf("single-bit corruption at byte %d undetected", pos)
+		}
+	}
+}
+
+func TestCheckFCSShortFrame(t *testing.T) {
+	if _, ok := CheckFCS([]byte{1, 2, 3}); ok {
+		t.Error("frame shorter than FCS must be rejected")
+	}
+}
+
+func TestFCSProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		_, ok := CheckFCS(AppendFCS(data))
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORInto(t *testing.T) {
+	a := []byte{1, 0, 1, 1}
+	b := []byte{1, 1, 0, 1, 0}
+	dst := make([]byte, 4)
+	n := XORInto(dst, a, b)
+	if n != 4 {
+		t.Fatalf("n = %d", n)
+	}
+	want := []byte{0, 1, 1, 0}
+	if !bytes.Equal(dst, want) {
+		t.Errorf("XOR = %v, want %v", dst, want)
+	}
+}

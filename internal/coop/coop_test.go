@@ -1,0 +1,125 @@
+package coop
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDirectOutageMatchesAnalytic(t *testing.T) {
+	src := rng.New(1)
+	c := Config{Scheme: Direct, RateBps: 1, MeanSNRsd: 10}
+	sim := OutageProbability(c, 200000, src)
+	want := DirectOutageAnalytic(1, 10)
+	if math.Abs(sim-want) > 0.01 {
+		t.Errorf("direct outage %v, analytic %v", sim, want)
+	}
+}
+
+func TestRelayReducesOutage(t *testing.T) {
+	// C11: cooperation improves effective link quality.
+	src := rng.New(2)
+	const snr = 20.0 // linear ~100
+	lin := math.Pow(10, snr/10)
+	direct := OutageProbability(Config{Scheme: Direct, RateBps: 2, MeanSNRsd: lin}, 100000, src.Split())
+	df := OutageProbability(Config{
+		Scheme: DecodeForward, RateBps: 2,
+		MeanSNRsd: lin, MeanSNRsr: lin, MeanSNRrd: lin,
+	}, 100000, src.Split())
+	if df >= direct {
+		t.Errorf("DF outage %v not below direct %v", df, direct)
+	}
+}
+
+func TestSelectionBeatsSingleRelay(t *testing.T) {
+	src := rng.New(3)
+	lin := math.Pow(10, 1.5)
+	base := Config{RateBps: 2, MeanSNRsd: lin, MeanSNRsr: lin, MeanSNRrd: lin}
+	one := base
+	one.Scheme = DecodeForward
+	four := base
+	four.Scheme = SelectionDF
+	four.NumRelays = 4
+	pOne := OutageProbability(one, 100000, src.Split())
+	pFour := OutageProbability(four, 100000, src.Split())
+	if pFour >= pOne {
+		t.Errorf("4-relay selection outage %v not below single relay %v", pFour, pOne)
+	}
+}
+
+func TestDiversityOrder(t *testing.T) {
+	// Direct Rayleigh: diversity order ~1. DF relaying: order ~2.
+	src := rng.New(4)
+	dDirect := DiversityOrderEstimate(Config{Scheme: Direct, RateBps: 1}, 10, 20, 400000, src.Split())
+	dDF := DiversityOrderEstimate(Config{Scheme: DecodeForward, RateBps: 1}, 10, 20, 400000, src.Split())
+	if math.Abs(dDirect-1) > 0.3 {
+		t.Errorf("direct diversity order %v, want ~1", dDirect)
+	}
+	if dDF < 1.5 {
+		t.Errorf("DF diversity order %v, want ~2", dDF)
+	}
+}
+
+func TestOutageMonotoneInSNR(t *testing.T) {
+	src := rng.New(5)
+	prev := 1.1
+	for _, snrDB := range []float64{5, 10, 15, 20, 25} {
+		lin := math.Pow(10, snrDB/10)
+		p := OutageProbability(Config{
+			Scheme: DecodeForward, RateBps: 1,
+			MeanSNRsd: lin, MeanSNRsr: lin, MeanSNRrd: lin,
+		}, 50000, src.Split())
+		if p > prev {
+			t.Fatalf("outage rose with SNR at %v dB: %v > %v", snrDB, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestHalfDuplexCostAtLowSNR(t *testing.T) {
+	// The known caveat of repetition-based relaying: at low SNR and high
+	// target rate the half-duplex factor can make cooperation lose.
+	src := rng.New(6)
+	lin := math.Pow(10, 0.5) // ~3 dB
+	direct := OutageProbability(Config{Scheme: Direct, RateBps: 4, MeanSNRsd: lin}, 50000, src.Split())
+	df := OutageProbability(Config{
+		Scheme: DecodeForward, RateBps: 4,
+		MeanSNRsd: lin, MeanSNRsr: lin, MeanSNRrd: lin,
+	}, 50000, src.Split())
+	if direct < 0.9 && df < direct/2 {
+		t.Errorf("at low SNR/high rate DF (%v) should not crush direct (%v)", df, direct)
+	}
+}
+
+func TestEnergyShare(t *testing.T) {
+	s, r := EnergyShare(Direct)
+	if s != 1 || r != 0 {
+		t.Errorf("direct share %v/%v", s, r)
+	}
+	s, r = EnergyShare(DecodeForward)
+	if s != 0.5 || r != 0.5 {
+		t.Errorf("DF share %v/%v", s, r)
+	}
+	if s+r != 1 {
+		t.Error("shares must sum to 1")
+	}
+}
+
+func TestBadRelayLinkDegradesToDirectDiversity(t *testing.T) {
+	// A relay that can never decode leaves only the direct path (with the
+	// half-duplex penalty on rate).
+	src := rng.New(7)
+	lin := math.Pow(10, 2.0)
+	deaf := OutageProbability(Config{
+		Scheme: DecodeForward, RateBps: 1,
+		MeanSNRsd: lin, MeanSNRsr: 1e-9, MeanSNRrd: lin,
+	}, 50000, src.Split())
+	healthy := OutageProbability(Config{
+		Scheme: DecodeForward, RateBps: 1,
+		MeanSNRsd: lin, MeanSNRsr: lin, MeanSNRrd: lin,
+	}, 50000, src.Split())
+	if healthy >= deaf {
+		t.Errorf("healthy relay outage %v not below deaf relay %v", healthy, deaf)
+	}
+}

@@ -1,0 +1,96 @@
+package dsp
+
+import "math"
+
+// WelchPSD estimates the power spectral density of x by averaging
+// Hann-windowed periodograms of segLen-sample segments with 50% overlap.
+// The result has segLen bins in FFT order (DC first) and integrates to
+// the signal's mean power. segLen must be a power of two.
+func WelchPSD(x []complex128, segLen int) []float64 {
+	if !IsPowerOfTwo(segLen) {
+		panic("dsp: WelchPSD segment length must be a power of two")
+	}
+	if len(x) < segLen {
+		panic("dsp: signal shorter than one segment")
+	}
+	window := make([]float64, segLen)
+	var windowPower float64
+	for i := range window {
+		window[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(segLen-1)))
+		windowPower += window[i] * window[i]
+	}
+	psd := make([]float64, segLen)
+	segments := 0
+	buf := make([]complex128, segLen)
+	for start := 0; start+segLen <= len(x); start += segLen / 2 {
+		for i := 0; i < segLen; i++ {
+			buf[i] = x[start+i] * complex(window[i], 0)
+		}
+		spec := FFT(buf)
+		for k, v := range spec {
+			psd[k] += real(v)*real(v) + imag(v)*imag(v)
+		}
+		segments++
+	}
+	norm := 1 / (float64(segments) * windowPower * float64(segLen))
+	for k := range psd {
+		psd[k] *= norm
+	}
+	return psd
+}
+
+// OccupiedBandwidthBins returns the number of PSD bins (counted over the
+// full FFT range) needed to capture the given fraction of total power,
+// taking bins in descending power order. With the sample rate known,
+// bins/segLen * sampleRate is the occupied bandwidth.
+func OccupiedBandwidthBins(psd []float64, fraction float64) int {
+	var total float64
+	sorted := append([]float64(nil), psd...)
+	for _, p := range sorted {
+		total += p
+	}
+	if total == 0 {
+		return 0
+	}
+	// Selection by repeated max would be O(n^2); sort descending instead.
+	insertionSortDesc(sorted)
+	var acc float64
+	for i, p := range sorted {
+		acc += p
+		if acc >= fraction*total {
+			return i + 1
+		}
+	}
+	return len(sorted)
+}
+
+func insertionSortDesc(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] < v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// SpectralCorrelation returns the normalized correlation (cosine
+// similarity) between two PSDs of equal length: 1 means identical
+// spectral shape.
+func SpectralCorrelation(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic("dsp: SpectralCorrelation needs equal-length PSDs")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

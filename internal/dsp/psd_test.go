@@ -1,0 +1,98 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchPSDTone(t *testing.T) {
+	const n, seg, bin = 4096, 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*bin*float64(i)/seg))
+	}
+	psd := WelchPSD(x, seg)
+	peak, peakIdx := 0.0, -1
+	for k, p := range psd {
+		if p > peak {
+			peak, peakIdx = p, k
+		}
+	}
+	if peakIdx != bin {
+		t.Errorf("tone peak at bin %d, want %d", peakIdx, bin)
+	}
+	// Nearly all power should be in/near the peak bin.
+	if bins := OccupiedBandwidthBins(psd, 0.99); bins > 4 {
+		t.Errorf("tone occupies %d bins", bins)
+	}
+}
+
+func TestWelchPSDWhiteNoiseFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x := make([]complex128, 65536)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	psd := WelchPSD(x, 64)
+	var mean float64
+	for _, p := range psd {
+		mean += p
+	}
+	mean /= float64(len(psd))
+	for k, p := range psd {
+		if p < mean/2 || p > mean*2 {
+			t.Fatalf("white-noise PSD bin %d = %v, mean %v: not flat", k, p, mean)
+		}
+	}
+	// White noise spreads: 99% of power needs nearly all bins.
+	if bins := OccupiedBandwidthBins(psd, 0.99); bins < 50 {
+		t.Errorf("white noise occupies only %d/64 bins", bins)
+	}
+}
+
+func TestWelchPSDPowerNormalization(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := make([]complex128, 16384)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64()) // power 2
+	}
+	psd := WelchPSD(x, 128)
+	var total float64
+	for _, p := range psd {
+		total += p
+	}
+	if math.Abs(total-2) > 0.2 {
+		t.Errorf("PSD integrates to %v, want ~2", total)
+	}
+}
+
+func TestWelchPSDValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two segment should panic")
+		}
+	}()
+	WelchPSD(make([]complex128, 1000), 48)
+}
+
+func TestSpectralCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 0}
+	if got := SpectralCorrelation(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation %v", got)
+	}
+	b := []float64{0, 0, 0, 5}
+	if got := SpectralCorrelation(a, b); got > 0.01 {
+		t.Errorf("orthogonal PSDs correlate %v", got)
+	}
+	if got := SpectralCorrelation(a, []float64{0, 0, 0, 0}); got != 0 {
+		t.Errorf("zero PSD correlation %v", got)
+	}
+}
+
+func TestOccupiedBandwidthEmpty(t *testing.T) {
+	if got := OccupiedBandwidthBins([]float64{0, 0}, 0.99); got != 0 {
+		t.Errorf("zero PSD occupies %d bins", got)
+	}
+}

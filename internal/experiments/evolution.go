@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/modem"
+	"repro/internal/phy"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/spread"
+)
+
+// E01Evolution regenerates the paper's generational table: the headline
+// rate and spectral efficiency of each 802.11 era, plus a measured
+// airtime rate (payload bits over on-air time, including preamble and
+// padding) from an actual frame transmission at high SNR.
+func E01Evolution(cfg Config) []report.Table {
+	src := rng.New(cfg.Seed)
+	t := report.Table{
+		ID:    "E1",
+		Title: "Standards evolution: rate and spectral efficiency",
+		Note:  "2 Mbps/0.1 bps/Hz -> 11/0.5 -> 54/2.7 -> 600/15: ~fivefold per generation",
+		Header: []string{"generation", "nominal Mbps", "BW MHz", "bps/Hz",
+			"x prev", "measured airtime Mbps", "delivery rate"},
+	}
+	payload := src.Bytes(cfg.PayloadBytes)
+	frames := cfg.Frames
+	if frames > 20 {
+		frames = 20
+	}
+
+	// SISO generations measured through the LinkPHY interface at 30 dB.
+	prevSE := 0.0
+	for _, p := range []phy.LinkPHY{mustDsss(2), mustCck(11), mustOfdm(54)} {
+		res := phy.MeasurePER(p, phy.AWGNChannel, 30, cfg.PayloadBytes, frames, src.Split())
+		tx := p.TxFrame(payload)
+		airUs := float64(len(tx)) / p.BandwidthMHz() // samples at BW MHz -> us
+		measured := float64(8*len(payload)) / airUs
+		se := p.RateMbps() / p.BandwidthMHz()
+		ratio := "-"
+		if prevSE > 0 {
+			ratio = fmtRatio(se / prevSE)
+		}
+		t.AddRow(p.Name(), p.RateMbps(), p.BandwidthMHz(), se, ratio, measured, 1-res.PER())
+		prevSE = se
+	}
+
+	// 802.11n measured with the MIMO PHY (4 streams, 40 MHz, short GI).
+	// MCS31 runs 64-QAM 5/6 on four spatially multiplexed streams with no
+	// diversity margin, so it needs a strong link: 40 dB here.
+	ht, err := phy.NewHt(phy.HtConfig{MCS: 31, Width40: true, ShortGI: true, NRx: 4})
+	if err != nil {
+		panic(err)
+	}
+	res := phy.MeasurePERMimo(ht, phy.MultipathMimoChannel(2, 0.3), 40, cfg.PayloadBytes, frames, src.Split())
+	txm := ht.TxFrame(payload)
+	airUs := float64(len(txm[0])) / ht.BandwidthMHz()
+	measured := float64(8*len(payload)) / airUs
+	se := ht.RateMbps() / ht.BandwidthMHz()
+	t.AddRow(ht.Name(), ht.RateMbps(), ht.BandwidthMHz(), se, fmtRatio(se/prevSE), measured, 1-res.PER())
+	return []report.Table{t}
+}
+
+// E02ProcessingGain reproduces the FCC processing-gain story: BER of a
+// Barker-spread BPSK link under a narrowband tone jammer, against the
+// same link without spreading, as the jammer-to-signal ratio sweeps.
+func E02ProcessingGain(cfg Config) []report.Table {
+	src := rng.New(cfg.Seed)
+	t := report.Table{
+		ID:     "E2",
+		Title:  "DSSS processing gain under narrowband interference",
+		Note:   "FCC mandated 10 dB processing gain; Barker-11 provides 10.4 dB",
+		Header: []string{"J/S dB", "BER unspread", "BER spread", "spread wins"},
+	}
+	nSyms := cfg.Frames * 400
+	const smallNoise = 0.01
+	for _, jsDB := range []float64{-5, 0, 3, 6, 9, 12} {
+		jPow := math.Pow(10, jsDB/10)
+		berUnspread := toneBER(nSyms, jPow, smallNoise, false, src.Split())
+		berSpread := toneBER(nSyms, jPow, smallNoise, true, src.Split())
+		t.AddRow(jsDB, berUnspread, berSpread, okString(berSpread <= berUnspread))
+	}
+	gain := report.Table{
+		ID:     "E2b",
+		Title:  "Theoretical processing gain",
+		Header: []string{"chips/symbol", "gain dB"},
+	}
+	gain.AddRow(len(spread.Barker), spread.ProcessingGainDB())
+	return []report.Table{t, gain}
+}
+
+// toneBER measures DBPSK BER with a constant-power tone jammer. Both
+// systems transmit at unit power; the spread system occupies 11x the
+// bandwidth, and the despreading correlator accumulates the signal
+// coherently while the tone adds incoherently — the processing gain.
+func toneBER(nSyms int, jPow, noiseVar float64, spreadIt bool, src *rng.Source) float64 {
+	bits := src.Bits(nSyms)
+	d := modem.NewDifferential(modem.BPSK)
+	syms := d.Modulate(bits)
+	var tx []complex128
+	if spreadIt {
+		// Unit chip power, as the DSSS PHY transmits.
+		tx = dsp.Scale(spread.Spread(syms), math.Sqrt(11))
+	} else {
+		tx = syms
+	}
+	jam := channel.Jammer(len(tx), jPow, 0.217, src)
+	rx := make([]complex128, len(tx))
+	for i := range tx {
+		rx[i] = tx[i] + jam[i] + src.ComplexGaussian(noiseVar)
+	}
+	var rxSyms []complex128
+	if spreadIt {
+		rxSyms = spread.Despread(rx)
+	} else {
+		rxSyms = rx
+	}
+	got := modem.NewDifferential(modem.BPSK).Demodulate(rxSyms, 1)
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(bits))
+}
+
+// E03Waterfall sweeps SNR and measures PER for one representative mode
+// of each generation over AWGN (the classic waterfall family).
+func E03Waterfall(cfg Config) []report.Table {
+	src := rng.New(cfg.Seed)
+	t := report.Table{
+		ID:     "E3",
+		Title:  "PER vs SNR waterfall per PHY generation (AWGN)",
+		Note:   "each rate step trades robustness for speed; curves shift right with rate",
+		Header: []string{"SNR dB", "DSSS 2", "CCK 11", "OFDM 6", "OFDM 24", "OFDM 54"},
+	}
+	phys := []phy.LinkPHY{mustDsss(2), mustCck(11), mustOfdm(6), mustOfdm(24), mustOfdm(54)}
+	for _, snr := range []float64{-2, 2, 6, 10, 14, 18, 22, 26} {
+		row := []any{snr}
+		for _, p := range phys {
+			per := phy.MeasurePER(p, phy.AWGNChannel, snr, cfg.PayloadBytes, cfg.Frames, src.Split()).PER()
+			row = append(row, per)
+		}
+		t.AddRow(row...)
+	}
+	return []report.Table{t}
+}
+
+func mustDsss(rate float64) *phy.Dsss {
+	p, err := phy.NewDsss(rate)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustCck(rate float64) *phy.Cck {
+	p, err := phy.NewCck(rate)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustOfdm(rate float64) *phy.Ofdm {
+	p, err := phy.NewOfdm(rate)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func okString(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
+}
+
+func fmtRatio(r float64) string {
+	return report.FormatRatio(r)
+}

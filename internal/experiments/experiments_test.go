@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse extracts a float cell, tolerating ratio suffixes like "5.0x".
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimSuffix(cell, "x")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestAllRunnersProduceTables(t *testing.T) {
+	cfg := Quick()
+	for _, r := range All() {
+		tables := r.Run(cfg)
+		if len(tables) == 0 {
+			t.Errorf("%s produced no tables", r.ID)
+			continue
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s table %q has no rows", r.ID, tb.Title)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Errorf("%s: row width %d != header %d", r.ID, len(row), len(tb.Header))
+				}
+			}
+			if out := tb.Format(); !strings.Contains(out, tb.Title) {
+				t.Errorf("%s: Format missing title", r.ID)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestE01FivefoldLadder(t *testing.T) {
+	tb := E01Evolution(Quick())[0]
+	// Column 3 is bps/Hz; each generation should be roughly 5x the last.
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d generations", len(tb.Rows))
+	}
+	prev := 0.0
+	for i, row := range tb.Rows {
+		se := parse(t, row[3])
+		if i > 0 {
+			ratio := se / prev
+			if ratio < 4 || ratio > 7 {
+				t.Errorf("generation %d efficiency step %vx, want ~5x", i, ratio)
+			}
+		}
+		prev = se
+		delivery := parse(t, row[6])
+		minOK := 0.9
+		if i == len(tb.Rows)-1 {
+			minOK = 0.3 // MCS31 at 40 dB still loses badly-conditioned draws
+		}
+		if delivery < minOK {
+			t.Errorf("generation %s delivery rate %v too low", row[0], delivery)
+		}
+	}
+	if prev != 15 {
+		t.Errorf("final efficiency %v, want 15 bps/Hz", prev)
+	}
+}
+
+func TestE02SpreadingWins(t *testing.T) {
+	tb := E02ProcessingGain(Quick())[0]
+	wins := 0
+	for _, row := range tb.Rows {
+		if row[3] == "yes" {
+			wins++
+		}
+	}
+	if wins < len(tb.Rows)-1 {
+		t.Errorf("spreading won only %d/%d J/S points", wins, len(tb.Rows))
+	}
+}
+
+func TestE03WaterfallMonotoneInSNR(t *testing.T) {
+	tb := E03Waterfall(Quick())[0]
+	// For each PHY column, the first and last SNR rows should bracket the
+	// waterfall: PER at the lowest SNR >= PER at the highest.
+	for col := 1; col < len(tb.Header); col++ {
+		first := parse(t, tb.Rows[0][col])
+		last := parse(t, tb.Rows[len(tb.Rows)-1][col])
+		if last > first {
+			t.Errorf("column %s: PER rose with SNR (%v -> %v)", tb.Header[col], first, last)
+		}
+	}
+	// The fastest mode must be the weakest at low SNR.
+	if parse(t, tb.Rows[0][5]) < parse(t, tb.Rows[0][1]) {
+		t.Error("54 Mbps should fail harder than DSSS 2 at low SNR")
+	}
+}
+
+func TestE04CapacityScaling(t *testing.T) {
+	tables := E04MimoCapacity(Quick())
+	cap := tables[0]
+	last := cap.Rows[len(cap.Rows)-1]
+	c11 := parse(t, last[1])
+	c44 := parse(t, last[4])
+	if c44 < 3*c11 {
+		t.Errorf("4x4 capacity %v not ~4x of 1x1 %v at high SNR", c44, c11)
+	}
+	rates := tables[1]
+	if got := parse(t, rates.Rows[3][1]); got != 600 {
+		t.Errorf("4-stream peak rate %v, want 600", got)
+	}
+}
+
+func TestE05RangeExtension(t *testing.T) {
+	tb := E05Range(Quick())[0]
+	// Last config (4x4 beamformed) must extend range well beyond SISO.
+	lastRow := tb.Rows[len(tb.Rows)-1]
+	ratio := parse(t, lastRow[2])
+	if ratio < 2 {
+		t.Errorf("4x4 range extension %vx, want several-fold", ratio)
+	}
+}
+
+func TestE10CoopOrdering(t *testing.T) {
+	tb := E10Coop(Quick())[0]
+	// At the highest SNR row: selection <= DF <= direct.
+	last := tb.Rows[len(tb.Rows)-1]
+	direct := parse(t, last[1])
+	df := parse(t, last[2])
+	sel := parse(t, last[3])
+	if df > direct || sel > df {
+		t.Errorf("outage ordering violated: direct %v, DF %v, selection %v", direct, df, sel)
+	}
+}
+
+func TestE11PaprOrdering(t *testing.T) {
+	tb := E11Papr(Quick())[0]
+	dsssPapr := parse(t, tb.Rows[0][1])
+	ofdmPapr := parse(t, tb.Rows[2][1])
+	if ofdmPapr <= dsssPapr {
+		t.Errorf("OFDM PAPR %v not above DSSS %v", ofdmPapr, dsssPapr)
+	}
+	dsssEff := parse(t, tb.Rows[0][3])
+	ofdmEff := parse(t, tb.Rows[2][3])
+	if ofdmEff >= dsssEff {
+		t.Errorf("OFDM PA efficiency %v not below DSSS %v", ofdmEff, dsssEff)
+	}
+}
+
+func TestE12PowerScaling(t *testing.T) {
+	tables := E12ChainSwitch(Quick())
+	t4 := tables[0].Rows[3]
+	if ratio := parse(t, strings.TrimSuffix(t4[4], "x")); ratio < 2 {
+		t.Errorf("4x4 rx power ratio %v, want > 2", ratio)
+	}
+	// Sniff-then-wake must win at the lowest duty cycle.
+	sw := tables[1].Rows[0]
+	if parse(t, sw[2]) >= parse(t, sw[1]) {
+		t.Error("chain switching should save energy at 0.1% duty")
+	}
+}
+
+func TestE14PsmSavesEnergy(t *testing.T) {
+	tb := E14Psm(Quick())[0]
+	camEnergy := parse(t, tb.Rows[0][1])
+	psmEnergy := parse(t, tb.Rows[1][1])
+	if psmEnergy >= camEnergy {
+		t.Errorf("PSM energy %v not below CAM %v", psmEnergy, camEnergy)
+	}
+	camLat := parse(t, tb.Rows[0][2])
+	psmLat := parse(t, tb.Rows[1][2])
+	if psmLat <= camLat {
+		t.Errorf("PSM latency %v not above CAM %v", psmLat, camLat)
+	}
+}
+
+func TestE15AggregationRestoresEfficiency(t *testing.T) {
+	tb := E15Aggregation(Quick())[0]
+	last := tb.Rows[len(tb.Rows)-1] // 600 Mbps row
+	plainEff := parse(t, last[2])
+	aggEff := parse(t, last[4])
+	if plainEff > 0.2 {
+		t.Errorf("unaggregated efficiency at 600 Mbps = %v, expected collapse", plainEff)
+	}
+	if aggEff < 0.6 {
+		t.Errorf("aggregated efficiency at 600 Mbps = %v, expected restoration", aggEff)
+	}
+}
+
+func TestE16AcquisitionWaterfall(t *testing.T) {
+	tables := E16Acquisition(Quick())
+	tb := tables[0]
+	low := parse(t, tb.Rows[0][1])
+	high := parse(t, tb.Rows[len(tb.Rows)-1][1])
+	if low > 0.3 {
+		t.Errorf("decode rate %v at 0 dB, expected failure region", low)
+	}
+	if high < 0.9 {
+		t.Errorf("decode rate %v at high SNR, expected near 1", high)
+	}
+	fa := tables[1]
+	if parse(t, fa.Rows[0][1]) > parse(t, fa.Rows[0][0])*0.05 {
+		t.Errorf("false alarm count %v too high", fa.Rows[0][1])
+	}
+}
+
+func TestE18SignatureMatch(t *testing.T) {
+	tables := E18Signature(Quick())
+	bw := tables[0]
+	dsssBW := parse(t, bw.Rows[0][2])
+	cckBW := parse(t, bw.Rows[1][2])
+	if diff := math.Abs(dsssBW - cckBW); diff > 1.5 {
+		t.Errorf("DSSS and CCK occupied bandwidths differ by %v MHz", diff)
+	}
+	corr := tables[1]
+	if got := parse(t, corr.Rows[0][1]); got < 0.9 {
+		t.Errorf("DSSS-CCK spectral correlation %v, want near 1", got)
+	}
+}
+
+func TestE19AnomalyShape(t *testing.T) {
+	tb := E19Anomaly(Quick())[0]
+	// Fast-station goodput must fall as the legacy rate drops, and the
+	// legacy station's airtime share must grow.
+	fastAt54 := parse(t, tb.Rows[0][1])
+	fastAt1 := parse(t, tb.Rows[len(tb.Rows)-1][1])
+	if fastAt1 >= fastAt54/3 {
+		t.Errorf("anomaly too weak: fast goodput %v -> %v", fastAt54, fastAt1)
+	}
+	airAt54 := parse(t, tb.Rows[0][4])
+	airAt1 := parse(t, tb.Rows[len(tb.Rows)-1][4])
+	if airAt1 <= airAt54*2 {
+		t.Errorf("legacy airtime share %v -> %v; expected it to balloon", airAt54, airAt1)
+	}
+}
+
+func TestE20EnergyPerBitFalls(t *testing.T) {
+	tb := E20EnergyPerBit(Quick())[0]
+	prev := math.Inf(1)
+	for _, row := range tb.Rows {
+		nj := parse(t, row[3])
+		if nj >= prev {
+			t.Fatalf("energy per bit did not fall at %s: %v", row[0], nj)
+		}
+		prev = nj
+	}
+	first := parse(t, tb.Rows[0][3])
+	last := parse(t, tb.Rows[len(tb.Rows)-1][3])
+	if first/last < 20 {
+		t.Errorf("nJ/bit improvement only %vx across generations", first/last)
+	}
+}
+
+func TestE21CoexistenceShape(t *testing.T) {
+	tb := E21Coexistence(Quick())[0]
+	prev := 1.1
+	for _, row := range tb.Rows {
+		mean := parse(t, row[1])
+		if mean > prev+0.02 {
+			t.Fatalf("mean success rose as networks joined: %v", tb.Rows)
+		}
+		prev = mean
+	}
+	// 40 networks: still graceful (last row).
+	last := tb.Rows[len(tb.Rows)-1]
+	if parse(t, last[1]) < 0.4 {
+		t.Errorf("40-network mean success %v; degradation should be graceful", last[1])
+	}
+}
+
+func TestCSVWellFormed(t *testing.T) {
+	tb := E05Range(Quick())[0]
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(tb.Rows)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(tb.Rows)+1)
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/coop"
+	"repro/internal/linkmodel"
+	"repro/internal/mesh"
+	"repro/internal/report"
+	"repro/internal/rng"
+)
+
+func meshLink() linkmodel.Link {
+	return linkmodel.Link{
+		Modes:    linkmodel.OfdmModes(),
+		Budget:   channel.DefaultLinkBudget(20e6),
+		PathLoss: channel.Model24GHz(),
+	}
+}
+
+// E08MeshCoverage reproduces "mesh networks have the potential to
+// dramatically increase the area served": served fraction of a square
+// campus as mesh points are added around a single gateway.
+func E08MeshCoverage(cfg Config) []report.Table {
+	_ = cfg
+	link := meshLink()
+	const area, step, minRate = 500.0, 25.0, 6.0
+	t := report.Table{
+		ID:     "E8",
+		Title:  "Coverage of a 500x500 m area vs mesh size (>=6 Mbps to gateway)",
+		Note:   "mesh networks ... dramatically increase the area served",
+		Header: []string{"mesh points", "served fraction", "mean rate Mbps", "x single AP"},
+	}
+	layouts := [][]mesh.Node{
+		{{X: 250, Y: 250}},
+		{{X: 250, Y: 250}, {X: 125, Y: 125}, {X: 375, Y: 375}},
+		{{X: 250, Y: 250}, {X: 125, Y: 125}, {X: 375, Y: 125}, {X: 125, Y: 375}, {X: 375, Y: 375}},
+		{{X: 250, Y: 250}, {X: 125, Y: 125}, {X: 375, Y: 125}, {X: 125, Y: 375}, {X: 375, Y: 375},
+			{X: 250, Y: 60}, {X: 250, Y: 440}, {X: 60, Y: 250}, {X: 440, Y: 250}},
+	}
+	base := 0.0
+	for _, nodes := range layouts {
+		n := mesh.New(nodes, link)
+		c := n.Coverage(area, step, minRate, mesh.Airtime)
+		if base == 0 {
+			base = c.ServedFraction
+		}
+		t.AddRow(len(nodes), c.ServedFraction, c.MeanRateMbps, report.FormatRatio(safeDiv(c.ServedFraction, base)))
+	}
+	return []report.Table{t}
+}
+
+// E09MeshRouting reproduces the intelligent-routing claim: end-to-end
+// throughput over a line of relays, hop-count routing (one long hop when
+// it exists) against the airtime metric (several short fast hops).
+func E09MeshRouting(cfg Config) []report.Table {
+	_ = cfg
+	link := meshLink()
+	t := report.Table{
+		ID:     "E9",
+		Title:  "End-to-end throughput (Mbps): hop-count vs airtime routing, linear mesh",
+		Note:   "multiple hops over high capacity links rather than single hops over low capacity links",
+		Header: []string{"span m", "relays", "hop-count Mbps", "hops", "airtime Mbps", "hops", "airtime wins"},
+	}
+	for _, span := range []float64{60, 100, 140, 180, 220} {
+		nodes := mesh.LinearTopology(4, span/4)
+		n := mesh.New(nodes, link)
+		rHop, okHop := n.ShortestPath(0, 4, mesh.HopCount)
+		rAir, okAir := n.ShortestPath(0, 4, mesh.Airtime)
+		if !okHop || !okAir {
+			t.AddRow(span, 3, "unreachable", "-", "unreachable", "-", "-")
+			continue
+		}
+		t.AddRow(span, 3, rHop.ThroughputMbps, len(rHop.Path)-1,
+			rAir.ThroughputMbps, len(rAir.Path)-1,
+			okString(rAir.ThroughputMbps >= rHop.ThroughputMbps))
+	}
+	return []report.Table{t}
+}
+
+// E10Coop reproduces the cooperative-diversity forecast: outage
+// probability vs mean SNR for the direct link, single decode-and-forward
+// relay, and best-of-4 selection, plus fitted diversity orders.
+func E10Coop(cfg Config) []report.Table {
+	src := rng.New(cfg.Seed)
+	blocks := cfg.Frames * 2000
+	t := report.Table{
+		ID:     "E10",
+		Title:  "Outage probability at R = 1 bps/Hz, Rayleigh fading",
+		Note:   "third parties ... regenerate and relay ... to improve the effective link quality",
+		Header: []string{"mean SNR dB", "direct", "DF relay", "best-of-4"},
+	}
+	for _, snrDB := range []float64{5, 10, 15, 20, 25} {
+		lin := math.Pow(10, snrDB/10)
+		direct := coop.OutageProbability(coop.Config{Scheme: coop.Direct, RateBps: 1, MeanSNRsd: lin}, blocks, src.Split())
+		df := coop.OutageProbability(coop.Config{
+			Scheme: coop.DecodeForward, RateBps: 1,
+			MeanSNRsd: lin, MeanSNRsr: lin, MeanSNRrd: lin,
+		}, blocks, src.Split())
+		sel := coop.OutageProbability(coop.Config{
+			Scheme: coop.SelectionDF, RateBps: 1, NumRelays: 4,
+			MeanSNRsd: lin, MeanSNRsr: lin, MeanSNRrd: lin,
+		}, blocks, src.Split())
+		t.AddRow(snrDB, direct, df, sel)
+	}
+
+	div := report.Table{
+		ID:     "E10b",
+		Title:  "Fitted diversity order (outage slope per SNR decade)",
+		Header: []string{"scheme", "order"},
+	}
+	div.AddRow("direct", coop.DiversityOrderEstimate(coop.Config{Scheme: coop.Direct, RateBps: 1}, 10, 20, blocks, src.Split()))
+	div.AddRow("DF relay", coop.DiversityOrderEstimate(coop.Config{Scheme: coop.DecodeForward, RateBps: 1}, 10, 20, blocks, src.Split()))
+
+	share := report.Table{
+		ID:     "E10c",
+		Title:  "Transmit energy share per delivered message",
+		Note:   "share some of the power burden with willing third party devices",
+		Header: []string{"scheme", "source", "relay"},
+	}
+	for _, s := range []coop.Scheme{coop.Direct, coop.DecodeForward} {
+		src0, relay := coop.EnergyShare(s)
+		name := "direct"
+		if s == coop.DecodeForward {
+			name = "decode-and-forward"
+		}
+		share.AddRow(name, src0, relay)
+	}
+	return []report.Table{t, div, share}
+}

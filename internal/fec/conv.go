@@ -1,0 +1,242 @@
+package fec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// The industry-standard K=7 convolutional code used by 802.11a/g/n with
+// generators 133 and 171 (octal). The shift register holds the six
+// previous input bits; free distance is 10.
+const (
+	convK      = 7
+	convStates = 1 << (convK - 1) // 64
+	genG0      = 0o133            // 0b1011011
+	genG1      = 0o171            // 0b1111001
+)
+
+// CodeRate identifies a convolutional (or LDPC) code rate.
+type CodeRate int
+
+const (
+	Rate1_2 CodeRate = iota
+	Rate2_3
+	Rate3_4
+	Rate5_6
+)
+
+// String names the rate.
+func (r CodeRate) String() string {
+	switch r {
+	case Rate1_2:
+		return "1/2"
+	case Rate2_3:
+		return "2/3"
+	case Rate3_4:
+		return "3/4"
+	case Rate5_6:
+		return "5/6"
+	}
+	return fmt.Sprintf("CodeRate(%d)", int(r))
+}
+
+// Value returns the numeric code rate.
+func (r CodeRate) Value() float64 {
+	switch r {
+	case Rate1_2:
+		return 0.5
+	case Rate2_3:
+		return 2.0 / 3.0
+	case Rate3_4:
+		return 0.75
+	case Rate5_6:
+		return 5.0 / 6.0
+	}
+	panic("fec: unknown code rate")
+}
+
+// puncturePattern returns the keep-mask applied to the rate-1/2 mother
+// code output stream (A1 B1 A2 B2 ...) to reach the target rate. These are
+// the 802.11a (2/3, 3/4) and 802.11n (5/6) patterns.
+func puncturePattern(r CodeRate) []bool {
+	switch r {
+	case Rate1_2:
+		return []bool{true, true}
+	case Rate2_3:
+		return []bool{true, true, true, false}
+	case Rate3_4:
+		return []bool{true, true, true, false, false, true}
+	case Rate5_6:
+		return []bool{true, true, false, true, true, false, false, true, true, false}
+	}
+	panic("fec: unknown code rate")
+}
+
+// convOutputs precomputes, for each (state, input) pair, the two output
+// bits of the mother code.
+var convOutputs [convStates][2][2]byte
+
+func init() {
+	for s := 0; s < convStates; s++ {
+		for u := 0; u < 2; u++ {
+			reg := uint(u)<<6 | uint(s)
+			convOutputs[s][u][0] = byte(bits.OnesCount(reg&genG0) & 1)
+			convOutputs[s][u][1] = byte(bits.OnesCount(reg&genG1) & 1)
+		}
+	}
+}
+
+// convNextState advances the encoder register: the new input becomes the
+// most significant register bit.
+func convNextState(state int, u byte) int {
+	return int(u)<<5 | state>>1
+}
+
+// ConvEncode encodes bits with the rate-1/2 mother code, appending six
+// tail zeros so the trellis terminates in the all-zero state, then
+// punctures to the requested rate. The output length is
+// ceil(2*(len(bits)+6) * kept/total) for the rate's puncture pattern.
+func ConvEncode(in []byte, rate CodeRate) []byte {
+	mother := make([]byte, 0, 2*(len(in)+convK-1))
+	state := 0
+	emit := func(u byte) {
+		o := convOutputs[state][u&1]
+		mother = append(mother, o[0], o[1])
+		state = convNextState(state, u&1)
+	}
+	for _, b := range in {
+		emit(b)
+	}
+	for i := 0; i < convK-1; i++ {
+		emit(0)
+	}
+	return punctureBits(mother, rate)
+}
+
+func punctureBits(mother []byte, rate CodeRate) []byte {
+	pat := puncturePattern(rate)
+	out := make([]byte, 0, len(mother))
+	for i, b := range mother {
+		if pat[i%len(pat)] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// DepunctureLLRs re-inserts zero LLRs (erasures) at punctured positions so
+// the Viterbi decoder sees the full mother-code stream. motherLen is the
+// full (unpunctured) length, i.e. 2*(infoBits+6).
+func DepunctureLLRs(llrs []float64, rate CodeRate, motherLen int) []float64 {
+	pat := puncturePattern(rate)
+	out := make([]float64, motherLen)
+	src := 0
+	for i := 0; i < motherLen; i++ {
+		if pat[i%len(pat)] {
+			if src < len(llrs) {
+				out[i] = llrs[src]
+				src++
+			}
+		}
+	}
+	return out
+}
+
+// PuncturedLength returns the number of coded bits produced for nInfo
+// information bits at the given rate (including the 6 tail bits).
+func PuncturedLength(nInfo int, rate CodeRate) int {
+	motherLen := 2 * (nInfo + convK - 1)
+	pat := puncturePattern(rate)
+	kept := 0
+	for i := 0; i < motherLen; i++ {
+		if pat[i%len(pat)] {
+			kept++
+		}
+	}
+	return kept
+}
+
+// ViterbiDecode performs soft-decision maximum-likelihood decoding of a
+// punctured stream of LLRs (positive favours bit 0) produced by
+// ConvEncode. nInfo is the number of information bits expected (without
+// tail). It returns the decoded information bits.
+func ViterbiDecode(llrs []float64, rate CodeRate, nInfo int) []byte {
+	nTotal := nInfo + convK - 1
+	motherLen := 2 * nTotal
+	full := DepunctureLLRs(llrs, rate, motherLen)
+
+	const inf = math.MaxFloat64 / 4
+	metric := make([]float64, convStates)
+	next := make([]float64, convStates)
+	for s := 1; s < convStates; s++ {
+		metric[s] = inf
+	}
+	// decisions[t][s] records the input bit u that led to state s at step
+	// t+1 along the surviving path, plus which predecessor it came from.
+	type decision struct {
+		prev int
+		bit  byte
+	}
+	decisions := make([][]decision, nTotal)
+
+	for t := 0; t < nTotal; t++ {
+		l0 := full[2*t]
+		l1 := full[2*t+1]
+		dec := make([]decision, convStates)
+		for s := range next {
+			next[s] = inf
+		}
+		for s := 0; s < convStates; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			for u := byte(0); u <= 1; u++ {
+				o := convOutputs[s][u]
+				// Branch cost: positive LLR favours 0, so emitting a 1
+				// against a positive LLR costs, emitting a 0 earns.
+				cost := metric[s]
+				if o[0] == 1 {
+					cost += l0
+				} else {
+					cost -= l0
+				}
+				if o[1] == 1 {
+					cost += l1
+				} else {
+					cost -= l1
+				}
+				ns := convNextState(s, u)
+				if cost < next[ns] {
+					next[ns] = cost
+					dec[ns] = decision{prev: s, bit: u}
+				}
+			}
+		}
+		metric, next = next, metric
+		decisions[t] = dec
+	}
+
+	// The tail drives the encoder to state 0; trace back from there.
+	state := 0
+	out := make([]byte, nTotal)
+	for t := nTotal - 1; t >= 0; t-- {
+		d := decisions[t][state]
+		out[t] = d.bit
+		state = d.prev
+	}
+	return out[:nInfo]
+}
+
+// ViterbiDecodeHard decodes hard bits by converting them to unit LLRs.
+func ViterbiDecodeHard(bitsIn []byte, rate CodeRate, nInfo int) []byte {
+	llrs := make([]float64, len(bitsIn))
+	for i, b := range bitsIn {
+		if b&1 == 0 {
+			llrs[i] = 1
+		} else {
+			llrs[i] = -1
+		}
+	}
+	return ViterbiDecode(llrs, rate, nInfo)
+}

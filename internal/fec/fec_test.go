@@ -1,0 +1,248 @@
+package fec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestScrambleInvolution(t *testing.T) {
+	src := rng.New(1)
+	bits := src.Bits(500)
+	for _, seed := range []uint8{0x7F, 0x5D, 1, 0} {
+		if got := Descramble(Scramble(bits, seed), seed); !bytes.Equal(got, bits) {
+			t.Errorf("seed %#x: scramble not an involution", seed)
+		}
+	}
+}
+
+func TestScrambleWhitens(t *testing.T) {
+	// An all-zero input must come out looking random (the scrambler's job:
+	// avoid long constant runs on air).
+	zeros := make([]byte, 1270)
+	out := Scramble(zeros, 0x7F)
+	ones := 0
+	for _, b := range out {
+		ones += int(b)
+	}
+	frac := float64(ones) / float64(len(out))
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("scrambled all-zeros has ones fraction %v", frac)
+	}
+}
+
+func TestScrambleProperty(t *testing.T) {
+	f := func(data []byte, seed uint8) bool {
+		bits := make([]byte, len(data))
+		for i := range data {
+			bits[i] = data[i] & 1
+		}
+		return bytes.Equal(Scramble(Scramble(bits, seed), seed), bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodeRateValues(t *testing.T) {
+	if Rate1_2.Value() != 0.5 || Rate3_4.Value() != 0.75 {
+		t.Error("code rate values wrong")
+	}
+	if Rate2_3.String() != "2/3" || Rate5_6.String() != "5/6" {
+		t.Error("code rate names wrong")
+	}
+}
+
+func TestConvEncodeLength(t *testing.T) {
+	nInfo := 120
+	for _, r := range []CodeRate{Rate1_2, Rate2_3, Rate3_4, Rate5_6} {
+		out := ConvEncode(make([]byte, nInfo), r)
+		if got, want := len(out), PuncturedLength(nInfo, r); got != want {
+			t.Errorf("rate %v: length %d, want %d", r, got, want)
+		}
+		// Coded length should approximate (nInfo+6)/rate.
+		approx := float64(nInfo+6) / r.Value()
+		if diff := float64(len(out)) - approx; diff > 4 || diff < -4 {
+			t.Errorf("rate %v: length %d far from %v", r, len(out), approx)
+		}
+	}
+}
+
+func TestViterbiNoiselessAllRates(t *testing.T) {
+	src := rng.New(2)
+	for _, r := range []CodeRate{Rate1_2, Rate2_3, Rate3_4, Rate5_6} {
+		info := src.Bits(200)
+		coded := ConvEncode(info, r)
+		got := ViterbiDecodeHard(coded, r, len(info))
+		if !bytes.Equal(got, info) {
+			t.Errorf("rate %v: noiseless Viterbi decode failed", r)
+		}
+	}
+}
+
+func TestViterbiNoiselessProperty(t *testing.T) {
+	f := func(data []byte, rateIdx uint8) bool {
+		rates := []CodeRate{Rate1_2, Rate2_3, Rate3_4, Rate5_6}
+		r := rates[int(rateIdx)%len(rates)]
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		info := make([]byte, len(data))
+		for i := range data {
+			info[i] = data[i] & 1
+		}
+		return bytes.Equal(ViterbiDecodeHard(ConvEncode(info, r), r, len(info)), info)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViterbiCorrectsBitErrors(t *testing.T) {
+	// Rate 1/2 K=7 has free distance 10: it must correct scattered errors.
+	src := rng.New(3)
+	info := src.Bits(300)
+	coded := ConvEncode(info, Rate1_2)
+	// Flip well-separated bits.
+	for _, pos := range []int{10, 80, 150, 230, 320, 410, 500, 580} {
+		if pos < len(coded) {
+			coded[pos] ^= 1
+		}
+	}
+	got := ViterbiDecodeHard(coded, Rate1_2, len(info))
+	if !bytes.Equal(got, info) {
+		t.Error("Viterbi failed to correct scattered hard errors")
+	}
+}
+
+func TestViterbiSoftBeatsHard(t *testing.T) {
+	// Soft decisions are worth ~2 dB: at a noise level where hard-decision
+	// decoding makes errors, soft decoding of the same received block must
+	// make no more.
+	src := rng.New(4)
+	const trials = 40
+	const noiseSigma = 0.62 // BPSK unit energy, fairly noisy
+	hardErrs, softErrs := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		info := src.Bits(150)
+		coded := ConvEncode(info, Rate1_2)
+		llrs := make([]float64, len(coded))
+		hard := make([]byte, len(coded))
+		for i, b := range coded {
+			x := 1.0
+			if b == 1 {
+				x = -1.0
+			}
+			y := x + src.Gaussian(0, noiseSigma)
+			llrs[i] = 2 * y / (noiseSigma * noiseSigma)
+			if y < 0 {
+				hard[i] = 1
+			}
+		}
+		gotHard := ViterbiDecodeHard(hard, Rate1_2, len(info))
+		gotSoft := ViterbiDecode(llrs, Rate1_2, len(info))
+		for i := range info {
+			if gotHard[i] != info[i] {
+				hardErrs++
+			}
+			if gotSoft[i] != info[i] {
+				softErrs++
+			}
+		}
+	}
+	if hardErrs == 0 {
+		t.Skip("noise too low to distinguish; tune noiseSigma")
+	}
+	if softErrs > hardErrs {
+		t.Errorf("soft decoding (%d errors) worse than hard (%d)", softErrs, hardErrs)
+	}
+}
+
+func TestDepuncture(t *testing.T) {
+	llrs := []float64{1, 2, 3}
+	full := DepunctureLLRs(llrs, Rate2_3, 4)
+	want := []float64{1, 2, 3, 0}
+	for i := range want {
+		if full[i] != want[i] {
+			t.Fatalf("depuncture = %v, want %v", full, want)
+		}
+	}
+}
+
+func TestInterleaverBijective(t *testing.T) {
+	for _, cfg := range []struct{ ncbps, nbpsc int }{
+		{48, 1}, {96, 2}, {192, 4}, {288, 6},
+	} {
+		perm := InterleaverPermutation(cfg.ncbps, cfg.nbpsc)
+		seen := make([]bool, cfg.ncbps)
+		for _, p := range perm {
+			if p < 0 || p >= cfg.ncbps || seen[p] {
+				t.Fatalf("ncbps=%d: permutation invalid at %d", cfg.ncbps, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	src := rng.New(5)
+	for _, cfg := range []struct{ ncbps, nbpsc int }{
+		{48, 1}, {96, 2}, {192, 4}, {288, 6},
+	} {
+		bits := src.Bits(cfg.ncbps)
+		inter := Interleave(bits, cfg.ncbps, cfg.nbpsc)
+		if bytes.Equal(inter, bits) {
+			t.Errorf("ncbps=%d: interleaver is identity", cfg.ncbps)
+		}
+		got := Deinterleave(inter, cfg.ncbps, cfg.nbpsc)
+		if !bytes.Equal(got, bits) {
+			t.Errorf("ncbps=%d: round trip failed", cfg.ncbps)
+		}
+	}
+}
+
+func TestInterleaveLLRRoundTrip(t *testing.T) {
+	const ncbps, nbpsc = 192, 4
+	src := rng.New(6)
+	llrs := make([]float64, ncbps)
+	bits := make([]byte, ncbps)
+	for i := range llrs {
+		llrs[i] = src.Gaussian(0, 1)
+		if llrs[i] < 0 {
+			bits[i] = 1
+		}
+	}
+	// Interleave the bits, then deinterleave matching LLRs: signs must line up.
+	perm := InterleaverPermutation(ncbps, nbpsc)
+	interLLR := make([]float64, ncbps)
+	for k := range llrs {
+		interLLR[perm[k]] = llrs[k]
+	}
+	got := DeinterleaveLLRs(interLLR, ncbps, nbpsc)
+	for i := range got {
+		if got[i] != llrs[i] {
+			t.Fatal("LLR deinterleave mismatch")
+		}
+	}
+}
+
+func TestInterleaverSpreadsAdjacentBits(t *testing.T) {
+	// The interleaver's purpose: adjacent coded bits must land on
+	// well-separated positions so a faded subcarrier doesn't wipe out a
+	// run of code bits.
+	perm := InterleaverPermutation(192, 4)
+	for k := 0; k+1 < 192; k++ {
+		d := perm[k+1] - perm[k]
+		if d < 0 {
+			d = -d
+		}
+		if d < 2 {
+			t.Fatalf("adjacent coded bits %d,%d map to adjacent positions %d,%d", k, k+1, perm[k], perm[k+1])
+		}
+	}
+}

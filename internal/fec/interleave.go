@@ -1,0 +1,100 @@
+package fec
+
+// The 802.11a/g block interleaver applies two permutations to the coded
+// bits of each OFDM symbol: the first spreads adjacent coded bits across
+// non-adjacent subcarriers; the second alternates bits between more and
+// less significant constellation positions. ncbps is the number of coded
+// bits per OFDM symbol, nbpsc the coded bits per subcarrier.
+
+// InterleaverPermutation returns perm such that interleaved[perm[k]] =
+// coded[k] for k = 0..ncbps-1, per 802.11-2020 Equations 17-17 and 17-18
+// (the 16-column layout of 802.11a/g).
+func InterleaverPermutation(ncbps, nbpsc int) []int {
+	return InterleaverPermutationCols(ncbps, nbpsc, 16)
+}
+
+// InterleaverPermutationCols is the generalized row-column interleaver:
+// 802.11a uses 16 columns over 48 carriers; 802.11n uses 13 columns over
+// 52 carriers (20 MHz) and 18 over 108 (40 MHz).
+func InterleaverPermutationCols(ncbps, nbpsc, ncols int) []int {
+	if ncols <= 0 || ncbps <= 0 || ncbps%ncols != 0 {
+		panic("fec: ncbps must be a positive multiple of the column count")
+	}
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	perm := make([]int, ncbps)
+	for k := 0; k < ncbps; k++ {
+		i := (ncbps/ncols)*(k%ncols) + k/ncols
+		j := s*(i/s) + (i+ncbps-(ncols*i)/ncbps)%s
+		perm[k] = j
+	}
+	return perm
+}
+
+// InterleaveCols permutes one OFDM symbol of coded bits with the
+// generalized interleaver.
+func InterleaveCols(bitsIn []byte, ncbps, nbpsc, ncols int) []byte {
+	perm := InterleaverPermutationCols(ncbps, nbpsc, ncols)
+	if len(bitsIn) != ncbps {
+		panic("fec: Interleave input must be exactly ncbps bits")
+	}
+	out := make([]byte, ncbps)
+	for k, b := range bitsIn {
+		out[perm[k]] = b
+	}
+	return out
+}
+
+// DeinterleaveLLRsCols inverts InterleaveCols on soft values.
+func DeinterleaveLLRsCols(llrs []float64, ncbps, nbpsc, ncols int) []float64 {
+	perm := InterleaverPermutationCols(ncbps, nbpsc, ncols)
+	if len(llrs) != ncbps {
+		panic("fec: Deinterleave input must be exactly ncbps values")
+	}
+	out := make([]float64, ncbps)
+	for k := range out {
+		out[k] = llrs[perm[k]]
+	}
+	return out
+}
+
+// Interleave permutes one OFDM symbol's worth of coded bits.
+func Interleave(bitsIn []byte, ncbps, nbpsc int) []byte {
+	perm := InterleaverPermutation(ncbps, nbpsc)
+	if len(bitsIn) != ncbps {
+		panic("fec: Interleave input must be exactly ncbps bits")
+	}
+	out := make([]byte, ncbps)
+	for k, b := range bitsIn {
+		out[perm[k]] = b
+	}
+	return out
+}
+
+// DeinterleaveLLRs inverts the interleaver on a symbol of soft values.
+func DeinterleaveLLRs(llrs []float64, ncbps, nbpsc int) []float64 {
+	perm := InterleaverPermutation(ncbps, nbpsc)
+	if len(llrs) != ncbps {
+		panic("fec: Deinterleave input must be exactly ncbps values")
+	}
+	out := make([]float64, ncbps)
+	for k := range out {
+		out[k] = llrs[perm[k]]
+	}
+	return out
+}
+
+// Deinterleave inverts the interleaver on a symbol of hard bits.
+func Deinterleave(bitsIn []byte, ncbps, nbpsc int) []byte {
+	perm := InterleaverPermutation(ncbps, nbpsc)
+	if len(bitsIn) != ncbps {
+		panic("fec: Deinterleave input must be exactly ncbps bits")
+	}
+	out := make([]byte, ncbps)
+	for k := range out {
+		out[k] = bitsIn[perm[k]]
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package mac
+
+import (
+	"repro/internal/linkmodel"
+	"repro/internal/rng"
+)
+
+// ARF (automatic rate fallback) is the classic 802.11 rate-adaptation
+// rule: step the rate up after a run of consecutive successes, step it
+// down after consecutive failures. Combined with the link model's
+// PER-vs-SNR curves it reproduces the rate-vs-range staircase.
+
+// ArfConfig tunes the adaptation thresholds.
+type ArfConfig struct {
+	UpAfter   int // consecutive successes before trying a faster rate
+	DownAfter int // consecutive failures before falling back
+}
+
+// DefaultArf matches the original Lucent WaveLAN-II parameters.
+func DefaultArf() ArfConfig { return ArfConfig{UpAfter: 10, DownAfter: 2} }
+
+// ArfResult reports the outcome of an adaptation run.
+type ArfResult struct {
+	FramesSent    int
+	FramesOK      int
+	GoodputMbps   float64 // delivered payload over airtime at chosen rates
+	FinalMode     linkmodel.Mode
+	ModeHistogram map[string]int // frames attempted per mode name
+}
+
+// RunArf sends nFrames over a link with the given mean SNR (fading or
+// AWGN per the flag), adapting across the mode set.
+func RunArf(cfg ArfConfig, modes []linkmodel.Mode, meanSnrDB float64, fading bool, nFrames, payloadBytes int, src *rng.Source) ArfResult {
+	if len(modes) == 0 {
+		panic("mac: no modes")
+	}
+	idx := 0
+	succRun, failRun := 0, 0
+	res := ArfResult{ModeHistogram: map[string]int{}}
+	var airtimeUs, deliveredBits float64
+	for f := 0; f < nFrames; f++ {
+		m := modes[idx]
+		res.ModeHistogram[m.Name]++
+		res.FramesSent++
+		airtimeUs += float64(8*payloadBytes)/m.RateMbps + 20 // PLCP overhead
+		per := m.PER(meanSnrDB, fading)
+		if src.Float64() < per {
+			failRun++
+			succRun = 0
+			if failRun >= cfg.DownAfter && idx > 0 {
+				idx--
+				failRun = 0
+			}
+			continue
+		}
+		res.FramesOK++
+		deliveredBits += float64(8 * payloadBytes)
+		succRun++
+		failRun = 0
+		if succRun >= cfg.UpAfter && idx < len(modes)-1 {
+			idx++
+			succRun = 0
+		}
+	}
+	if airtimeUs > 0 {
+		res.GoodputMbps = deliveredBits / airtimeUs
+	}
+	res.FinalMode = modes[idx]
+	return res
+}

@@ -1,0 +1,158 @@
+package mac
+
+import (
+	"repro/internal/rng"
+)
+
+// The hidden-terminal problem: two stations in range of the AP but not
+// of each other cannot carrier-sense each other's transmissions, so
+// plain DCF collides at the AP whenever their frames overlap in time.
+// The RTS/CTS exchange shrinks the vulnerable window to the short RTS
+// and lets the AP's CTS silence the hidden station for the whole
+// exchange. This file simulates two saturated hidden stations.
+
+// HiddenConfig describes the scenario.
+type HiddenConfig struct {
+	Dcf          DcfConfig
+	RateMbps     float64
+	PayloadBytes int
+	RtsCts       bool
+	RtsUs        float64 // RTS duration
+	CtsUs        float64 // CTS duration
+}
+
+// DefaultHidden uses 802.11a/g timing at 54 Mbps.
+func DefaultHidden(rtsCts bool) HiddenConfig {
+	return HiddenConfig{
+		Dcf:          Dot11agDcf(),
+		RateMbps:     54,
+		PayloadBytes: 1500,
+		RtsCts:       rtsCts,
+		RtsUs:        28,
+		CtsUs:        28,
+	}
+}
+
+// HiddenResult summarizes the run.
+type HiddenResult struct {
+	Delivered   int
+	Collisions  int
+	Attempts    int
+	Dropped     int // frames abandoned past the retry limit
+	GoodputMbps float64
+}
+
+// hiddenStation is one contender's private view of time.
+type hiddenStation struct {
+	nextStart float64 // when its current backoff expires
+	cw        int
+	retries   int
+}
+
+func (s *hiddenStation) reschedule(cfg DcfConfig, from float64, src *rng.Source) {
+	s.nextStart = from + cfg.DIFSUs + float64(src.Intn(s.cw+1))*cfg.SlotUs
+}
+
+// fail doubles the window; past the retry limit the frame is dropped and
+// the window resets (the behaviour that keeps hidden stations colliding
+// instead of one capturing the channel forever).
+func (s *hiddenStation) fail(cfg DcfConfig) (dropped bool) {
+	s.retries++
+	if s.retries > cfg.RetryLimit {
+		s.retries = 0
+		s.cw = cfg.CWMin
+		return true
+	}
+	s.cw = min(2*s.cw+1, cfg.CWMax)
+	return false
+}
+
+func (s *hiddenStation) succeed(cfg DcfConfig) {
+	s.cw = cfg.CWMin
+	s.retries = 0
+}
+
+// RunHiddenTerminal simulates two saturated stations that cannot hear
+// each other transmitting to a common AP for durationUs.
+func RunHiddenTerminal(cfg HiddenConfig, durationUs float64, src *rng.Source) HiddenResult {
+	dataUs := cfg.Dcf.PlcpUs + float64(8*cfg.PayloadBytes)/cfg.RateMbps
+	ackUs := cfg.Dcf.SIFSUs + cfg.Dcf.AckUs
+
+	// Vulnerable transmission length: the whole data frame without
+	// RTS/CTS, just the RTS with it.
+	vulnerableUs := dataUs
+	if cfg.RtsCts {
+		vulnerableUs = cfg.Dcf.PlcpUs + cfg.RtsUs
+	}
+	// Full exchange length on success.
+	exchangeUs := dataUs + ackUs
+	if cfg.RtsCts {
+		exchangeUs = cfg.Dcf.PlcpUs + cfg.RtsUs + cfg.Dcf.SIFSUs + cfg.CtsUs +
+			cfg.Dcf.SIFSUs + dataUs + ackUs
+	}
+
+	res := HiddenResult{}
+	sta := [2]*hiddenStation{{cw: cfg.Dcf.CWMin}, {cw: cfg.Dcf.CWMin}}
+	for i := range sta {
+		sta[i].reschedule(cfg.Dcf, 0, src)
+	}
+
+	for {
+		// The earlier starter transmits first.
+		first, second := 0, 1
+		if sta[second].nextStart < sta[first].nextStart {
+			first, second = second, first
+		}
+		start := sta[first].nextStart
+		if start > durationUs {
+			break
+		}
+		res.Attempts++
+		if sta[second].nextStart < start+vulnerableUs {
+			// The hidden peer starts inside the vulnerable window: both
+			// transmissions are corrupted at the AP.
+			res.Attempts++
+			res.Collisions++
+			end := start + vulnerableUs
+			if e2 := sta[second].nextStart + vulnerableUs; e2 > end {
+				end = e2
+			}
+			// Without RTS/CTS the whole (longest) data frame is wasted.
+			if !cfg.RtsCts {
+				end = start + dataUs
+				if e2 := sta[second].nextStart + dataUs; e2 > end {
+					end = e2
+				}
+			}
+			for i := range sta {
+				if sta[i].fail(cfg.Dcf) {
+					res.Dropped++
+				}
+				sta[i].reschedule(cfg.Dcf, end, src)
+			}
+			continue
+		}
+		// Clean start: the exchange completes for the first station.
+		end := start + exchangeUs
+		res.Delivered++
+		sta[first].succeed(cfg.Dcf)
+		sta[first].reschedule(cfg.Dcf, end, src)
+		if sta[second].nextStart < end {
+			if cfg.RtsCts {
+				// The AP's CTS set the peer's NAV: it defers, losing nothing.
+				sta[second].reschedule(cfg.Dcf, end, src)
+			} else {
+				// The peer fires while the AP is still busy finishing the
+				// exchange; its frame is lost (the AP cannot receive).
+				res.Attempts++
+				if sta[second].fail(cfg.Dcf) {
+					res.Dropped++
+				}
+				sta[second].reschedule(cfg.Dcf, sta[second].nextStart+dataUs, src)
+			}
+		}
+	}
+
+	res.GoodputMbps = float64(res.Delivered*8*cfg.PayloadBytes) / durationUs
+	return res
+}

@@ -1,0 +1,260 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linkmodel"
+	"repro/internal/power"
+	"repro/internal/rng"
+)
+
+func saturated(n int, rate float64) []*Station {
+	out := make([]*Station, n)
+	for i := range out {
+		out[i] = &Station{Name: string(rune('A' + i)), RateMbps: rate}
+	}
+	return out
+}
+
+func TestDcfSingleStationEfficiency(t *testing.T) {
+	// One station, no contention: goodput should approach but not reach
+	// the PHY rate because of PLCP/DIFS/SIFS/ACK overhead.
+	src := rng.New(1)
+	res := RunDcf(Dot11agDcf(), saturated(1, 54), 1500, 1e6, src)
+	g := res.TotalGoodputMbps
+	if g <= 20 || g >= 54 {
+		t.Errorf("single-station goodput %v Mbps, want between 20 and 54", g)
+	}
+	if res.Collisions != 0 {
+		t.Errorf("collisions with one station: %d", res.Collisions)
+	}
+}
+
+func TestDcfOverheadCollapsesAtHighRate(t *testing.T) {
+	// The famous MAC-efficiency problem motivating aggregation: at 600
+	// Mbps PHY the per-frame overhead dominates and efficiency collapses.
+	src := rng.New(2)
+	g54 := RunDcf(Dot11agDcf(), saturated(1, 54), 1500, 1e6, src.Split()).TotalGoodputMbps
+	g600 := RunDcf(Dot11agDcf(), saturated(1, 600), 1500, 1e6, src.Split()).TotalGoodputMbps
+	eff54 := g54 / 54
+	eff600 := g600 / 600
+	if eff600 > eff54/2 {
+		t.Errorf("MAC efficiency at 600 Mbps (%v) should be far below 54 Mbps (%v)", eff600, eff54)
+	}
+}
+
+func TestAggregationRestoresEfficiency(t *testing.T) {
+	src := rng.New(3)
+	plain := saturated(1, 600)
+	agg := saturated(1, 600)
+	agg[0].Aggregation = 32
+	gPlain := RunDcf(Dot11agDcf(), plain, 1500, 1e6, src.Split()).TotalGoodputMbps
+	gAgg := RunDcf(Dot11agDcf(), agg, 1500, 1e6, src.Split()).TotalGoodputMbps
+	if gAgg < 3*gPlain {
+		t.Errorf("32-frame aggregation goodput %v not >> unaggregated %v", gAgg, gPlain)
+	}
+}
+
+func TestDcfCollisionsGrowWithStations(t *testing.T) {
+	src := rng.New(4)
+	r2 := RunDcf(Dot11agDcf(), saturated(2, 54), 1500, 1e6, src.Split())
+	r20 := RunDcf(Dot11agDcf(), saturated(20, 54), 1500, 1e6, src.Split())
+	c2 := float64(r2.Collisions) / float64(r2.TxEvents)
+	c20 := float64(r20.Collisions) / float64(r20.TxEvents)
+	if c20 <= c2 {
+		t.Errorf("collision rate with 20 stations (%v) not above 2 stations (%v)", c20, c2)
+	}
+	if r20.TotalGoodputMbps >= r2.TotalGoodputMbps {
+		t.Errorf("aggregate goodput should degrade with contention: %v vs %v",
+			r20.TotalGoodputMbps, r2.TotalGoodputMbps)
+	}
+}
+
+func TestDcfFairness(t *testing.T) {
+	// Identical stations should share goodput roughly evenly.
+	src := rng.New(5)
+	res := RunDcf(Dot11agDcf(), saturated(5, 54), 1000, 2e6, src)
+	var minG, maxG float64 = math.Inf(1), 0
+	for _, s := range res.PerStation {
+		if s.GoodputMbps < minG {
+			minG = s.GoodputMbps
+		}
+		if s.GoodputMbps > maxG {
+			maxG = s.GoodputMbps
+		}
+	}
+	if maxG > 1.5*minG {
+		t.Errorf("unfair shares: min %v, max %v", minG, maxG)
+	}
+}
+
+func TestDcfLossyLinkReducesGoodput(t *testing.T) {
+	src := rng.New(6)
+	clean := saturated(1, 54)
+	lossy := saturated(1, 54)
+	lossy[0].PER = 0.3
+	gClean := RunDcf(Dot11agDcf(), clean, 1500, 1e6, src.Split()).TotalGoodputMbps
+	gLossy := RunDcf(Dot11agDcf(), lossy, 1500, 1e6, src.Split()).TotalGoodputMbps
+	if gLossy >= gClean {
+		t.Errorf("30%% PER goodput %v not below clean %v", gLossy, gClean)
+	}
+}
+
+func TestDcf11bSlowerThan11g(t *testing.T) {
+	src := rng.New(7)
+	b := RunDcf(Dot11bDcf(), saturated(1, 11), 1500, 1e6, src.Split()).TotalGoodputMbps
+	g := RunDcf(Dot11agDcf(), saturated(1, 54), 1500, 1e6, src.Split()).TotalGoodputMbps
+	if b >= g {
+		t.Errorf("11b goodput %v not below 11g %v", b, g)
+	}
+}
+
+func TestArfAdaptsUpAtHighSNR(t *testing.T) {
+	src := rng.New(8)
+	modes := linkmodel.OfdmModes()
+	res := RunArf(DefaultArf(), modes, 35, false, 2000, 1500, src)
+	if res.FinalMode.RateMbps < 48 {
+		t.Errorf("at 35 dB ARF settled on %v", res.FinalMode.Name)
+	}
+	if res.FramesOK < res.FramesSent*9/10 {
+		t.Errorf("delivery %d/%d too low at high SNR", res.FramesOK, res.FramesSent)
+	}
+}
+
+func TestArfAdaptsDownAtLowSNR(t *testing.T) {
+	src := rng.New(9)
+	modes := linkmodel.OfdmModes()
+	res := RunArf(DefaultArf(), modes, 8, false, 2000, 1500, src)
+	// The 18 Mbps threshold sits at ~7.6 dB in the analytic model, so ARF
+	// should hold at or below it; 24 Mbps (threshold ~9.8 dB) must fail.
+	if res.FinalMode.RateMbps > 18 {
+		t.Errorf("at 8 dB ARF settled on %v", res.FinalMode.Name)
+	}
+}
+
+func TestArfBeatsFixedWorstChoice(t *testing.T) {
+	// Adaptation should deliver more than pinning the top rate at mid SNR.
+	src := rng.New(10)
+	modes := linkmodel.OfdmModes()
+	const snr = 15.0
+	adaptive := RunArf(DefaultArf(), modes, snr, true, 3000, 1500, src.Split())
+	fixedTop := RunArf(DefaultArf(), modes[7:], snr, true, 3000, 1500, src.Split())
+	if adaptive.GoodputMbps <= fixedTop.GoodputMbps {
+		t.Errorf("ARF goodput %v not above fixed-54 %v", adaptive.GoodputMbps, fixedTop.GoodputMbps)
+	}
+}
+
+func TestPsmSavesEnergy(t *testing.T) {
+	src := rng.New(11)
+	cfg := DefaultPsm()
+	psm := RunPsm(cfg, 60_000, src.Split())
+	cam := RunCam(cfg, 60_000, src.Split())
+	if psm.EnergyJ >= cam.EnergyJ {
+		t.Errorf("PSM energy %v not below CAM %v", psm.EnergyJ, cam.EnergyJ)
+	}
+	if ratio := cam.EnergyJ / psm.EnergyJ; ratio < 2 {
+		t.Errorf("PSM saving ratio %v, expected substantial", ratio)
+	}
+}
+
+func TestPsmCostsLatency(t *testing.T) {
+	src := rng.New(12)
+	cfg := DefaultPsm()
+	psm := RunPsm(cfg, 60_000, src.Split())
+	cam := RunCam(cfg, 60_000, src.Split())
+	if psm.AvgLatencyMs <= cam.AvgLatencyMs {
+		t.Errorf("PSM latency %v not above CAM %v", psm.AvgLatencyMs, cam.AvgLatencyMs)
+	}
+	// Mean wait under uniform arrivals is about half the beacon interval.
+	want := cfg.BeaconIntervalMs / 2
+	if math.Abs(psm.AvgLatencyMs-want) > want/2 {
+		t.Errorf("PSM latency %v ms, want ~%v", psm.AvgLatencyMs, want)
+	}
+}
+
+func TestPsmListenIntervalTradesLatencyForEnergy(t *testing.T) {
+	src := rng.New(13)
+	cfg := DefaultPsm()
+	cfg.ListenInterval = 1
+	every := RunPsm(cfg, 120_000, src.Split())
+	cfg.ListenInterval = 5
+	sparse := RunPsm(cfg, 120_000, src.Split())
+	if sparse.AvgLatencyMs <= every.AvgLatencyMs {
+		t.Errorf("listen interval 5 latency %v not above interval 1 %v",
+			sparse.AvgLatencyMs, every.AvgLatencyMs)
+	}
+	if sparse.EnergyPerFrame > every.EnergyPerFrame {
+		t.Errorf("sparse wake energy/frame %v above %v", sparse.EnergyPerFrame, every.EnergyPerFrame)
+	}
+}
+
+func TestPsmDeliversEverything(t *testing.T) {
+	src := rng.New(14)
+	cfg := DefaultPsm()
+	psm := RunPsm(cfg, 60_000, src)
+	expected := cfg.ArrivalPerSecond * 60
+	if float64(psm.Delivered) < expected*0.7 || float64(psm.Delivered) > expected*1.3 {
+		t.Errorf("delivered %d, expected ~%v", psm.Delivered, expected)
+	}
+}
+
+func TestHiddenTerminalCollapse(t *testing.T) {
+	// Two saturated hidden stations at a low PHY rate (long vulnerable
+	// window) without RTS/CTS collide constantly and drop frames.
+	src := rng.New(20)
+	cfg := DefaultHidden(false)
+	cfg.RateMbps = 6
+	res := RunHiddenTerminal(cfg, 4e6, src)
+	collisionRate := float64(res.Collisions) / float64(max(res.Attempts, 1))
+	if collisionRate < 0.25 {
+		t.Errorf("hidden-terminal collision rate %v suspiciously low", collisionRate)
+	}
+	if res.Dropped == 0 {
+		t.Error("expected retry-limit drops under sustained collisions")
+	}
+}
+
+func TestRtsCtsRescuesHiddenTerminals(t *testing.T) {
+	// At a low PHY rate the data frame — the vulnerable window — is long,
+	// which is where RTS/CTS pays for its overhead.
+	src := rng.New(21)
+	plainCfg := DefaultHidden(false)
+	plainCfg.RateMbps = 6
+	rtsCfg := DefaultHidden(true)
+	rtsCfg.RateMbps = 6
+	plain := RunHiddenTerminal(plainCfg, 4e6, src.Split())
+	rts := RunHiddenTerminal(rtsCfg, 4e6, src.Split())
+	if rts.GoodputMbps <= plain.GoodputMbps {
+		t.Errorf("RTS/CTS goodput %v not above plain %v at 6 Mbps", rts.GoodputMbps, plain.GoodputMbps)
+	}
+	plainColl := float64(plain.Collisions) / float64(max(plain.Attempts, 1))
+	rtsColl := float64(rts.Collisions) / float64(max(rts.Attempts, 1))
+	if rtsColl >= plainColl {
+		t.Errorf("RTS/CTS collision rate %v not below plain %v", rtsColl, plainColl)
+	}
+}
+
+func TestHiddenTerminalDelivers(t *testing.T) {
+	src := rng.New(22)
+	res := RunHiddenTerminal(DefaultHidden(true), 1e6, src)
+	if res.Delivered == 0 {
+		t.Error("no frames delivered with RTS/CTS")
+	}
+	if res.GoodputMbps <= 0 || res.GoodputMbps > 54 {
+		t.Errorf("goodput %v out of range", res.GoodputMbps)
+	}
+}
+
+func TestCamMultiChainCostsMore(t *testing.T) {
+	src := rng.New(15)
+	cfg := DefaultPsm()
+	cfg.Radio = power.RadioConfig{TxChains: 4, RxChains: 4, Streams: 4, OutputW: 0.05, PaprDB: 10}
+	cfg.ChainPolicy = power.AlwaysOn
+	four := RunCam(cfg, 60_000, src.Split())
+	cfg.ChainPolicy = power.SniffThenWake
+	one := RunCam(cfg, 60_000, src.Split())
+	if four.EnergyJ <= one.EnergyJ {
+		t.Errorf("4-chain CAM energy %v not above single-chain listen %v", four.EnergyJ, one.EnergyJ)
+	}
+}

@@ -1,0 +1,170 @@
+package mac
+
+import (
+	"repro/internal/rng"
+)
+
+// Unsaturated DCF: stations receive Poisson frame arrivals and contend
+// only while their queue is non-empty, exposing the offered-load versus
+// delay behaviour that the saturated model hides.
+
+// OfferedStation couples a station to an arrival process.
+type OfferedStation struct {
+	Station
+	OfferedMbps float64
+
+	queue       []float64 // arrival timestamps (us)
+	nextArrival float64
+	delivered   int
+	delaySum    float64
+}
+
+// OfferedResult reports the unsaturated run.
+type OfferedResult struct {
+	PerStation       []OfferedStationResult
+	TotalGoodputMbps float64
+}
+
+// OfferedStationResult is one station's share.
+type OfferedStationResult struct {
+	Name          string
+	OfferedMbps   float64
+	GoodputMbps   float64
+	Delivered     int
+	AvgDelayUs    float64 // arrival to delivery
+	QueueResidual int     // frames still queued at the end
+}
+
+// JainIndex computes Jain's fairness index (sum x)^2 / (n * sum x^2):
+// 1 means perfectly even shares, 1/n means one user takes everything.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s, sq float64
+	for _, x := range xs {
+		s += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return s * s / (float64(len(xs)) * sq)
+}
+
+// RunDcfOffered simulates DCF with Poisson arrivals per station for
+// durationUs. Mechanics mirror RunDcf: contention in slots, collisions
+// when several backoffs expire together, binary exponential backoff.
+func RunDcfOffered(cfg DcfConfig, stations []*OfferedStation, payloadBytes int, durationUs float64, src *rng.Source) OfferedResult {
+	if len(stations) == 0 {
+		panic("mac: no stations")
+	}
+	frameUs := func(s *OfferedStation) float64 {
+		return frameAirtimeUs(cfg, &s.Station, payloadBytes)
+	}
+	for _, s := range stations {
+		s.cw = cfg.CWMin
+		s.backoff = src.Intn(s.cw + 1)
+		s.queue = nil
+		s.delivered, s.delaySum = 0, 0
+		if s.OfferedMbps > 0 {
+			s.nextArrival = src.Exponential(float64(8*payloadBytes) / s.OfferedMbps)
+		} else {
+			s.nextArrival = durationUs + 1
+		}
+	}
+	meanGap := func(s *OfferedStation) float64 {
+		return float64(8*payloadBytes) / s.OfferedMbps
+	}
+	advance := func(s *OfferedStation, now float64) {
+		for s.OfferedMbps > 0 && s.nextArrival <= now {
+			s.queue = append(s.queue, s.nextArrival)
+			s.nextArrival += src.Exponential(meanGap(s))
+		}
+	}
+
+	now := 0.0
+	for now < durationUs {
+		for _, s := range stations {
+			advance(s, now)
+		}
+		// Idle jump if nobody has traffic.
+		var active []*OfferedStation
+		for _, s := range stations {
+			if len(s.queue) > 0 {
+				active = append(active, s)
+			}
+		}
+		if len(active) == 0 {
+			earliest := durationUs + 1
+			for _, s := range stations {
+				if s.nextArrival < earliest {
+					earliest = s.nextArrival
+				}
+			}
+			if earliest > durationUs {
+				break
+			}
+			now = earliest
+			continue
+		}
+		minB := active[0].backoff
+		for _, s := range active[1:] {
+			if s.backoff < minB {
+				minB = s.backoff
+			}
+		}
+		now += float64(minB)*cfg.SlotUs + cfg.DIFSUs
+		var ready []*OfferedStation
+		for _, s := range active {
+			s.backoff -= minB
+			if s.backoff == 0 {
+				ready = append(ready, s)
+			}
+		}
+		if len(ready) > 1 {
+			longest := 0.0
+			for _, s := range ready {
+				s.attempts++
+				if t := frameUs(s); t > longest {
+					longest = t
+				}
+				s.failure(cfg, src)
+			}
+			now += longest
+			continue
+		}
+		s := ready[0]
+		s.attempts++
+		air := frameUs(s)
+		now += air
+		if src.Float64() < s.PER {
+			s.failure(cfg, src)
+			continue
+		}
+		s.delivered++
+		s.delaySum += now - s.queue[0]
+		s.queue = s.queue[1:]
+		s.cw = cfg.CWMin
+		s.retries = 0
+		s.backoff = src.Intn(s.cw + 1)
+	}
+
+	res := OfferedResult{}
+	for _, s := range stations {
+		goodput := float64(s.delivered*8*payloadBytes) / durationUs
+		r := OfferedStationResult{
+			Name:          s.Name,
+			OfferedMbps:   s.OfferedMbps,
+			GoodputMbps:   goodput,
+			Delivered:     s.delivered,
+			QueueResidual: len(s.queue),
+		}
+		if s.delivered > 0 {
+			r.AvgDelayUs = s.delaySum / float64(s.delivered)
+		}
+		res.PerStation = append(res.PerStation, r)
+		res.TotalGoodputMbps += goodput
+	}
+	return res
+}

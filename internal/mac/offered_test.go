@@ -1,0 +1,106 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func offeredStations(n int, offeredMbps, rate float64) []*OfferedStation {
+	out := make([]*OfferedStation, n)
+	for i := range out {
+		out[i] = &OfferedStation{
+			Station:     Station{Name: string(rune('A' + i)), RateMbps: rate},
+			OfferedMbps: offeredMbps,
+		}
+	}
+	return out
+}
+
+func TestOfferedBelowSaturationDeliversAll(t *testing.T) {
+	src := rng.New(1)
+	stas := offeredStations(3, 2, 54) // 6 Mbps total on a ~30 Mbps channel
+	res := RunDcfOffered(Dot11agDcf(), stas, 1500, 2e6, src)
+	for _, s := range res.PerStation {
+		if s.GoodputMbps < s.OfferedMbps*0.85 {
+			t.Errorf("%s delivered %v of offered %v Mbps", s.Name, s.GoodputMbps, s.OfferedMbps)
+		}
+	}
+}
+
+func TestOfferedAboveSaturationCaps(t *testing.T) {
+	src := rng.New(2)
+	light := RunDcfOffered(Dot11agDcf(), offeredStations(3, 2, 54), 1500, 2e6, src.Split())
+	heavy := RunDcfOffered(Dot11agDcf(), offeredStations(3, 50, 54), 1500, 2e6, src.Split())
+	if heavy.TotalGoodputMbps <= light.TotalGoodputMbps {
+		t.Errorf("overload goodput %v below light load %v", heavy.TotalGoodputMbps, light.TotalGoodputMbps)
+	}
+	// Overload cannot exceed the saturated capacity measured by RunDcf.
+	sat := RunDcf(Dot11agDcf(), saturated(3, 54), 1500, 2e6, src.Split())
+	if heavy.TotalGoodputMbps > sat.TotalGoodputMbps*1.15 {
+		t.Errorf("overloaded goodput %v exceeds saturated capacity %v", heavy.TotalGoodputMbps, sat.TotalGoodputMbps)
+	}
+}
+
+func TestOfferedDelayGrowsWithLoad(t *testing.T) {
+	src := rng.New(3)
+	light := RunDcfOffered(Dot11agDcf(), offeredStations(3, 1, 54), 1500, 4e6, src.Split())
+	heavy := RunDcfOffered(Dot11agDcf(), offeredStations(3, 20, 54), 1500, 4e6, src.Split())
+	avg := func(r OfferedResult) float64 {
+		var s float64
+		for _, st := range r.PerStation {
+			s += st.AvgDelayUs
+		}
+		return s / float64(len(r.PerStation))
+	}
+	if avg(heavy) <= avg(light)*2 {
+		t.Errorf("delay under heavy load (%v us) not well above light load (%v us)",
+			avg(heavy), avg(light))
+	}
+}
+
+func TestOfferedQueueDrainsWhenIdle(t *testing.T) {
+	src := rng.New(4)
+	stas := offeredStations(1, 0.5, 54)
+	res := RunDcfOffered(Dot11agDcf(), stas, 1500, 4e6, src)
+	if res.PerStation[0].QueueResidual > 2 {
+		t.Errorf("residual queue %d at trivial load", res.PerStation[0].QueueResidual)
+	}
+}
+
+func TestOfferedZeroLoad(t *testing.T) {
+	src := rng.New(5)
+	stas := offeredStations(2, 0, 54)
+	res := RunDcfOffered(Dot11agDcf(), stas, 1500, 1e6, src)
+	if res.TotalGoodputMbps != 0 {
+		t.Errorf("goodput %v with zero offered load", res.TotalGoodputMbps)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("even shares index %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("monopoly index %v, want 0.25", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty index %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero index %v", got)
+	}
+}
+
+func TestDcfFairnessByJain(t *testing.T) {
+	src := rng.New(6)
+	res := RunDcf(Dot11agDcf(), saturated(8, 54), 1000, 3e6, src)
+	var shares []float64
+	for _, s := range res.PerStation {
+		shares = append(shares, s.GoodputMbps)
+	}
+	if idx := JainIndex(shares); idx < 0.95 {
+		t.Errorf("saturated DCF Jain index %v, want near 1", idx)
+	}
+}

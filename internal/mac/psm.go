@@ -1,0 +1,136 @@
+package mac
+
+import (
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Power-save mode (PSM): the access point buffers downlink frames and
+// advertises them in the beacon's traffic indication map (TIM); a dozing
+// station wakes for each beacon, stays up to drain its buffer when the
+// TIM bit is set, and dozes otherwise. The alternative, CAM
+// (constantly-awake mode), listens all the time. PSM trades delivery
+// latency (frames wait for the next beacon) for energy.
+
+// PsmConfig describes one power-save scenario.
+type PsmConfig struct {
+	BeaconIntervalMs float64 // typically 100 ms
+	ListenInterval   int     // beacons between wake-ups (1 = every beacon)
+	ArrivalPerSecond float64 // Poisson downlink frame arrivals
+	FrameBytes       int
+	PhyRateMbps      float64
+	BeaconAirMs      float64 // beacon reception time
+	Profile          power.DeviceProfile
+	Radio            power.RadioConfig
+	ChainPolicy      power.ChainPolicy // chain management while awake
+}
+
+// DefaultPsm returns a typical single-antenna client scenario.
+func DefaultPsm() PsmConfig {
+	return PsmConfig{
+		BeaconIntervalMs: 100,
+		ListenInterval:   1,
+		ArrivalPerSecond: 20,
+		FrameBytes:       1500,
+		PhyRateMbps:      54,
+		BeaconAirMs:      0.5,
+		Profile:          power.DefaultDevice(),
+		Radio:            power.RadioConfig{TxChains: 1, RxChains: 1, Streams: 1, OutputW: 0.05, PaprDB: 10},
+	}
+}
+
+// PsmResult reports energy and latency for one policy.
+type PsmResult struct {
+	Mode           string
+	Delivered      int
+	EnergyJ        float64
+	AvgLatencyMs   float64
+	EnergyPerFrame float64 // joules
+}
+
+// RunPsm simulates the scenario for durationMs under PSM and returns the
+// result; RunCam is the always-awake baseline.
+func RunPsm(cfg PsmConfig, durationMs float64, src *rng.Source) PsmResult {
+	var eng sim.Engine
+	var buffered []float64 // arrival timestamps awaiting delivery
+	var energyJ, latencySum float64
+	delivered := 0
+
+	frameAirMs := float64(8*cfg.FrameBytes) / cfg.PhyRateMbps / 1000
+
+	// Poisson arrivals.
+	var scheduleArrival func()
+	scheduleArrival = func() {
+		gap := src.Exponential(1000 / cfg.ArrivalPerSecond)
+		eng.Schedule(gap, func() {
+			buffered = append(buffered, eng.Now())
+			scheduleArrival()
+		})
+	}
+	scheduleArrival()
+
+	// Beacon wake-ups.
+	interval := cfg.BeaconIntervalMs * float64(cfg.ListenInterval)
+	var beacon func()
+	beacon = func() {
+		// Wake to receive the beacon.
+		energyJ += cfg.BeaconAirMs / 1000 * cfg.Profile.RxPowerW(cfg.Radio)
+		// TIM set: stay awake and drain the buffer.
+		for _, t := range buffered {
+			energyJ += frameAirMs / 1000 * cfg.Profile.RxPowerW(cfg.Radio)
+			latencySum += eng.Now() - t
+			delivered++
+		}
+		buffered = buffered[:0]
+		eng.Schedule(interval, beacon)
+	}
+	eng.Schedule(interval, beacon)
+
+	eng.Run(durationMs)
+	// Doze energy for all remaining time (awake time already accounted).
+	awakeMs := float64(delivered)*frameAirMs + durationMs/interval*cfg.BeaconAirMs
+	dozeMs := durationMs - awakeMs
+	if dozeMs < 0 {
+		dozeMs = 0
+	}
+	energyJ += dozeMs / 1000 * cfg.Profile.DozePowerW()
+
+	res := PsmResult{Mode: "PSM", Delivered: delivered, EnergyJ: energyJ}
+	if delivered > 0 {
+		res.AvgLatencyMs = latencySum / float64(delivered)
+		res.EnergyPerFrame = energyJ / float64(delivered)
+	}
+	return res
+}
+
+// RunCam simulates the constantly-awake baseline: frames are received as
+// they arrive (latency ~ just the airtime), but the radio listens the
+// whole time.
+func RunCam(cfg PsmConfig, durationMs float64, src *rng.Source) PsmResult {
+	frameAirMs := float64(8*cfg.FrameBytes) / cfg.PhyRateMbps / 1000
+	expected := cfg.ArrivalPerSecond * durationMs / 1000
+	delivered := 0
+	var energyJ, latencySum float64
+	// Draw the actual Poisson count via arrival gaps for determinism.
+	t := src.Exponential(1000 / cfg.ArrivalPerSecond)
+	for t < durationMs {
+		delivered++
+		latencySum += frameAirMs
+		t += src.Exponential(1000 / cfg.ArrivalPerSecond)
+	}
+	_ = expected
+	rxMs := float64(delivered) * frameAirMs
+	nChains := 1
+	if cfg.ChainPolicy == power.AlwaysOn {
+		nChains = cfg.Radio.RxChains
+	}
+	energyJ = (durationMs-rxMs)/1000*cfg.Profile.ListenPowerW(nChains) +
+		rxMs/1000*cfg.Profile.RxPowerW(cfg.Radio)
+	res := PsmResult{Mode: "CAM", Delivered: delivered, EnergyJ: energyJ}
+	if delivered > 0 {
+		res.AvgLatencyMs = latencySum / float64(delivered)
+		res.EnergyPerFrame = energyJ / float64(delivered)
+	}
+	return res
+}

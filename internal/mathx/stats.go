@@ -1,0 +1,99 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Running accumulates streaming first- and second-moment statistics using
+// Welford's algorithm so that experiments can track means and variances
+// without storing every sample.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations folded in so far.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the running population variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation, or 0 before any observation.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation, or 0 before any observation.
+func (r *Running) Max() float64 { return r.max }
+
+// CCDFPoint is one point of an empirical complementary CDF.
+type CCDFPoint struct {
+	X    float64 // threshold
+	Prob float64 // P(sample > X)
+}
+
+// CCDF computes the empirical complementary cumulative distribution of xs
+// evaluated at the given thresholds. Thresholds need not be sorted; the
+// result preserves their order.
+func CCDF(xs []float64, thresholds []float64) []CCDFPoint {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CCDFPoint, len(thresholds))
+	n := float64(len(s))
+	for i, t := range thresholds {
+		// count of samples strictly greater than t
+		idx := sort.SearchFloat64s(s, math.Nextafter(t, math.Inf(1)))
+		var p float64
+		if n > 0 {
+			p = float64(len(s)-idx) / n
+		}
+		out[i] = CCDFPoint{X: t, Prob: p}
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced values from a to b inclusive. n must be
+// at least 2.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		panic("mathx: Linspace requires n >= 2")
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}

@@ -1,0 +1,279 @@
+// Package matrix implements dense complex linear algebra for the small
+// matrices that appear in MIMO processing: channel matrices up to a few
+// antennas on a side, their inverses for zero-forcing and MMSE detection,
+// and singular value decompositions for eigen-beamforming and capacity.
+//
+// The implementation favours clarity and numerical robustness over raw
+// speed; matrices in this simulator are at most 8x8.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("matrix: non-positive dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be non-empty and of
+// equal length.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("matrix: FromRows of empty data")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("matrix: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&b, "% .4f%+.4fi ", real(m.At(i, j)), imag(m.At(i, j)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Add returns m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.mustSameShape(o)
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + o.Data[i]
+	}
+	return out
+}
+
+// Sub returns m - o.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.mustSameShape(o)
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - o.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * m.
+func (m *Matrix) Scale(s complex128) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product m * o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := New(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * o.Data[k*o.Cols+j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m *Matrix) MulVec(v []complex128) []complex128 {
+	if m.Cols != len(v) {
+		panic("matrix: MulVec length mismatch")
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Hermitian returns the conjugate transpose of m.
+func (m *Matrix) Hermitian() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = cmplx.Conj(m.Data[i*m.Cols+j])
+		}
+	}
+	return out
+}
+
+// Transpose returns the (non-conjugated) transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns sqrt(sum |a_ij|^2).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Inverse returns the inverse of a square matrix via Gauss-Jordan
+// elimination with partial pivoting. It returns an error when the matrix
+// is singular to working precision.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("matrix: Inverse of non-square %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot on largest magnitude in this column.
+		pivot := col
+		best := cmplx.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(a.At(r, col)); mag > best {
+				best, pivot = mag, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("matrix: singular matrix (pivot %d)", col)
+		}
+		if pivot != col {
+			a.swapRows(col, pivot)
+			inv.swapRows(col, pivot)
+		}
+		// Normalize the pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Det returns the determinant of a square matrix via LU decomposition with
+// partial pivoting.
+func (m *Matrix) Det() complex128 {
+	if m.Rows != m.Cols {
+		panic("matrix: Det of non-square matrix")
+	}
+	n := m.Rows
+	a := m.Clone()
+	det := complex(1, 0)
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := cmplx.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(a.At(r, col)); mag > best {
+				best, pivot = mag, r
+			}
+		}
+		if best == 0 {
+			return 0
+		}
+		if pivot != col {
+			a.swapRows(col, pivot)
+			det = -det
+		}
+		p := a.At(col, col)
+		det *= p
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) / p
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+			}
+		}
+	}
+	return det
+}
+
+func (m *Matrix) mustSameShape(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("matrix: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}

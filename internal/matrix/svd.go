@@ -1,0 +1,145 @@
+package matrix
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// SVDResult holds the thin singular value decomposition A = U * diag(S) * Vᴴ,
+// where U is m-by-k, S has k = min(m, n) non-negative entries in descending
+// order, and V is n-by-k.
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVD computes the thin singular value decomposition using the one-sided
+// Jacobi method, which is simple, unconditionally stable, and more than
+// fast enough for the antenna-count-sized matrices this simulator uses.
+func (m *Matrix) SVD() SVDResult {
+	if m.Rows >= m.Cols {
+		return jacobiSVD(m)
+	}
+	// For wide matrices decompose the conjugate transpose and swap factors:
+	// Aᴴ = U S Vᴴ  =>  A = V S Uᴴ.
+	r := jacobiSVD(m.Hermitian())
+	return SVDResult{U: r.V, S: r.S, V: r.U}
+}
+
+// jacobiSVD handles the tall-or-square case (rows >= cols).
+func jacobiSVD(a *Matrix) SVDResult {
+	const (
+		tol       = 1e-13
+		maxSweeps = 60
+	)
+	work := a.Clone()
+	n := work.Cols
+	v := Identity(n)
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		offDiagonal := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha, beta, gamma := columnGram(work, p, q)
+				if cmplx.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
+					continue
+				}
+				offDiagonal = true
+				cs, sn, phase := jacobiRotation(alpha, beta, gamma)
+				applyRotation(work, p, q, cs, sn, phase)
+				applyRotation(v, p, q, cs, sn, phase)
+			}
+		}
+		if !offDiagonal {
+			break
+		}
+	}
+
+	// Extract singular values as column norms and normalize U.
+	s := make([]float64, n)
+	u := New(work.Rows, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < work.Rows; i++ {
+			z := work.At(i, j)
+			norm += real(z)*real(z) + imag(z)*imag(z)
+		}
+		s[j] = math.Sqrt(norm)
+		if s[j] > 0 {
+			inv := complex(1/s[j], 0)
+			for i := 0; i < work.Rows; i++ {
+				u.Set(i, j, work.At(i, j)*inv)
+			}
+		} else {
+			// Rank-deficient column: any unit vector orthogonal to the rest
+			// would do; a canonical basis vector keeps U well formed.
+			u.Set(j%work.Rows, j, 1)
+		}
+	}
+
+	// Sort singular values descending, permuting U and V to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return s[idx[i]] > s[idx[j]] })
+	sortedS := make([]float64, n)
+	sortedU := New(u.Rows, n)
+	sortedV := New(v.Rows, n)
+	for newJ, oldJ := range idx {
+		sortedS[newJ] = s[oldJ]
+		for i := 0; i < u.Rows; i++ {
+			sortedU.Set(i, newJ, u.At(i, oldJ))
+		}
+		for i := 0; i < v.Rows; i++ {
+			sortedV.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return SVDResult{U: sortedU, S: sortedS, V: sortedV}
+}
+
+// columnGram returns ||col_p||^2, ||col_q||^2 and col_pᴴ col_q.
+func columnGram(m *Matrix, p, q int) (alpha, beta float64, gamma complex128) {
+	for i := 0; i < m.Rows; i++ {
+		cp := m.At(i, p)
+		cq := m.At(i, q)
+		alpha += real(cp)*real(cp) + imag(cp)*imag(cp)
+		beta += real(cq)*real(cq) + imag(cq)*imag(cq)
+		gamma += cmplx.Conj(cp) * cq
+	}
+	return alpha, beta, gamma
+}
+
+// jacobiRotation computes the rotation parameters that orthogonalize a
+// column pair with Gram entries (alpha, beta, gamma). The returned unitary
+// acts on columns as:
+//
+//	col_p' = cs*col_p - sn*e^{-i*phase}*col_q
+//	col_q' = sn*col_p + cs*e^{-i*phase}*col_q
+func jacobiRotation(alpha, beta float64, gamma complex128) (cs, sn float64, phase float64) {
+	phase = cmplx.Phase(gamma)
+	g := cmplx.Abs(gamma)
+	zeta := (beta - alpha) / (2 * g)
+	t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+	cs = 1 / math.Sqrt(1+t*t)
+	sn = cs * t
+	return cs, sn, phase
+}
+
+// applyRotation applies the column rotation from jacobiRotation in place.
+func applyRotation(m *Matrix, p, q int, cs, sn, phase float64) {
+	eNeg := cmplx.Exp(complex(0, -phase))
+	for i := 0; i < m.Rows; i++ {
+		cp := m.At(i, p)
+		cq := m.At(i, q)
+		m.Set(i, p, complex(cs, 0)*cp-complex(sn, 0)*eNeg*cq)
+		m.Set(i, q, complex(sn, 0)*cp+complex(cs, 0)*eNeg*cq)
+	}
+}
+
+// SingularValues is a convenience wrapper returning only S.
+func (m *Matrix) SingularValues() []float64 {
+	return m.SVD().S
+}

@@ -1,0 +1,241 @@
+// Package mesh models 802.11s-style mesh networking: nodes placed on a
+// plane, link rates derived from the analytic link model, shortest-path
+// routing under hop-count or airtime metrics, end-to-end throughput of
+// multi-hop paths on a shared channel, and coverage-area accounting.
+//
+// It reproduces the paper's two mesh claims: coverage grows dramatically
+// with mesh relays (C9), and airtime-aware routing over several short
+// high-rate hops beats one long low-rate hop (C10).
+package mesh
+
+import (
+	"math"
+
+	"repro/internal/linkmodel"
+)
+
+// Node is a mesh point at a planar position.
+type Node struct {
+	Name string
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between nodes.
+func (n Node) Distance(o Node) float64 {
+	return math.Hypot(n.X-o.X, n.Y-o.Y)
+}
+
+// Network is a set of nodes sharing one link model.
+type Network struct {
+	Nodes []Node
+	Link  linkmodel.Link
+}
+
+// New builds a network over the given nodes.
+func New(nodes []Node, link linkmodel.Link) *Network {
+	return &Network{Nodes: nodes, Link: link}
+}
+
+// RateBetween returns the best goodput between two nodes, 0 when the
+// link cannot sustain any mode at the PER ceiling.
+func (n *Network) RateBetween(i, j int) float64 {
+	d := n.Nodes[i].Distance(n.Nodes[j])
+	g := n.Link.GoodputAt(d)
+	if g < 0.1 {
+		return 0
+	}
+	return g
+}
+
+// Metric selects the routing link weight.
+type Metric int
+
+const (
+	// HopCount gives every usable link weight 1: the naive shortest-path
+	// routing the paper contrasts with intelligent metrics.
+	HopCount Metric = iota
+	// Airtime weighs links by transmission time per bit (the 802.11s
+	// airtime link metric reduced to its essential 1/rate form plus a
+	// per-hop channel-access overhead).
+	Airtime
+)
+
+// airtimeOverheadUsPerFrame models per-hop access overhead of a 1500-byte
+// frame (DIFS + backoff + PLCP + ACK).
+const airtimeOverheadUs = 100.0
+
+// linkWeight returns the routing cost of a usable link at rate r Mbps.
+func linkWeight(metric Metric, rate float64) float64 {
+	switch metric {
+	case HopCount:
+		return 1
+	case Airtime:
+		// microseconds to move a 1500-byte frame across the hop
+		return airtimeOverheadUs + 8*1500/rate
+	}
+	panic("mesh: unknown metric")
+}
+
+// Route is a path with its routing cost and bottleneck statistics.
+type Route struct {
+	Path []int // node indices, source first
+	Cost float64
+	// ThroughputMbps is the end-to-end rate on a shared channel: hops
+	// along the path time-share the medium, so the path rate is the
+	// harmonic combination 1 / sum(1/r_i).
+	ThroughputMbps float64
+}
+
+// ShortestPath runs Dijkstra from src to dst under the metric. The bool
+// result reports whether any route exists.
+func (n *Network) ShortestPath(src, dst int, metric Metric) (Route, bool) {
+	const inf = math.MaxFloat64
+	nN := len(n.Nodes)
+	dist := make([]float64, nN)
+	prev := make([]int, nN)
+	done := make([]bool, nN)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, inf
+		for i := 0; i < nN; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u < 0 || u == dst {
+			break
+		}
+		done[u] = true
+		for v := 0; v < nN; v++ {
+			if v == u || done[v] {
+				continue
+			}
+			rate := n.RateBetween(u, v)
+			if rate <= 0 {
+				continue
+			}
+			if w := dist[u] + linkWeight(metric, rate); w < dist[v] {
+				dist[v] = w
+				prev[v] = u
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return Route{}, false
+	}
+	// Reconstruct and compute the end-to-end throughput.
+	var path []int
+	for v := dst; v != -1; v = prev[v] {
+		path = append([]int{v}, path...)
+	}
+	var invSum float64
+	for k := 0; k+1 < len(path); k++ {
+		invSum += 1 / n.RateBetween(path[k], path[k+1])
+	}
+	tp := 0.0
+	if invSum > 0 {
+		tp = 1 / invSum
+	} else if src == dst {
+		tp = math.Inf(1)
+	}
+	return Route{Path: path, Cost: dist[dst], ThroughputMbps: tp}, true
+}
+
+// Throughput returns the end-to-end rate between two nodes under the
+// metric, 0 when unreachable.
+func (n *Network) Throughput(src, dst int, metric Metric) float64 {
+	r, ok := n.ShortestPath(src, dst, metric)
+	if !ok {
+		return 0
+	}
+	return r.ThroughputMbps
+}
+
+// CoverageResult summarizes the served fraction of an area.
+type CoverageResult struct {
+	ServedFraction float64 // fraction of probe points with service
+	MeanRateMbps   float64 // average achievable rate over served points
+}
+
+// Coverage probes a grid of client positions over the square
+// [0,areaSide]x[0,areaSide]: a point is served when some mesh node can
+// deliver at least minRate to it AND that node routes to the gateway
+// (node 0) at minRate or better. step sets the probe spacing.
+func (n *Network) Coverage(areaSide, step, minRate float64, metric Metric) CoverageResult {
+	if len(n.Nodes) == 0 {
+		return CoverageResult{}
+	}
+	// Precompute gateway throughput for each mesh node.
+	gwRate := make([]float64, len(n.Nodes))
+	for i := range n.Nodes {
+		if i == 0 {
+			gwRate[i] = math.Inf(1)
+			continue
+		}
+		gwRate[i] = n.Throughput(i, 0, metric)
+	}
+	var probes, served int
+	var rateSum float64
+	for x := step / 2; x < areaSide; x += step {
+		for y := step / 2; y < areaSide; y += step {
+			probes++
+			client := Node{X: x, Y: y}
+			best := 0.0
+			for i, node := range n.Nodes {
+				access := n.Link.GoodputAt(node.Distance(client))
+				if access < minRate || gwRate[i] < minRate {
+					continue
+				}
+				// End-to-end: access hop shares the medium with backhaul.
+				e2e := access
+				if !math.IsInf(gwRate[i], 1) {
+					e2e = 1 / (1/access + 1/gwRate[i])
+				}
+				if e2e > best {
+					best = e2e
+				}
+			}
+			if best >= minRate {
+				served++
+				rateSum += best
+			}
+		}
+	}
+	res := CoverageResult{}
+	if probes > 0 {
+		res.ServedFraction = float64(served) / float64(probes)
+	}
+	if served > 0 {
+		res.MeanRateMbps = rateSum / float64(served)
+	}
+	return res
+}
+
+// LinearTopology places n+1 nodes on a line with the given spacing,
+// node 0 at the origin (the gateway).
+func LinearTopology(nHops int, spacing float64) []Node {
+	nodes := make([]Node, nHops+1)
+	for i := range nodes {
+		nodes[i] = Node{Name: nodeName(i), X: float64(i) * spacing}
+	}
+	return nodes
+}
+
+// GridTopology places nodes on a k x k grid with the given spacing.
+func GridTopology(k int, spacing float64) []Node {
+	nodes := make([]Node, 0, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			nodes = append(nodes, Node{Name: nodeName(i*k + j), X: float64(i) * spacing, Y: float64(j) * spacing})
+		}
+	}
+	return nodes
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i%10)) + string(rune('a'+(i/10)%26))
+}

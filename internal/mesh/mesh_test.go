@@ -1,0 +1,214 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/linkmodel"
+)
+
+func testLink(fading bool) linkmodel.Link {
+	return linkmodel.Link{
+		Modes:    linkmodel.OfdmModes(),
+		Budget:   channel.DefaultLinkBudget(20e6),
+		PathLoss: channel.Model24GHz(),
+		Fading:   fading,
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := Node{X: 0, Y: 0}
+	b := Node{X: 3, Y: 4}
+	if d := a.Distance(b); d != 5 {
+		t.Errorf("distance = %v", d)
+	}
+}
+
+func TestRateFallsWithSpacing(t *testing.T) {
+	n := New([]Node{{X: 0}, {X: 10}, {X: 120}}, testLink(false))
+	near := n.RateBetween(0, 1)
+	far := n.RateBetween(0, 2)
+	if near <= far {
+		t.Errorf("near rate %v not above far rate %v", near, far)
+	}
+}
+
+func TestShortestPathTrivial(t *testing.T) {
+	n := New(LinearTopology(1, 20), testLink(false))
+	r, ok := n.ShortestPath(0, 1, HopCount)
+	if !ok || len(r.Path) != 2 {
+		t.Fatalf("route %+v ok=%v", r, ok)
+	}
+	if r.ThroughputMbps != n.RateBetween(0, 1) {
+		t.Errorf("single-hop throughput %v != link rate %v", r.ThroughputMbps, n.RateBetween(0, 1))
+	}
+}
+
+func TestHopCountPrefersFewerHops(t *testing.T) {
+	// Three nodes on a line, far ends barely connected: hop-count routing
+	// takes the one long hop, airtime routing relays through the middle.
+	nodes := []Node{{X: 0}, {X: 60}, {X: 120}}
+	n := New(nodes, testLink(false))
+	if n.RateBetween(0, 2) <= 0 {
+		t.Skip("direct link dead at this geometry; adjust spacing")
+	}
+	hop, ok := n.ShortestPath(0, 2, HopCount)
+	if !ok {
+		t.Fatal("no hop-count route")
+	}
+	if len(hop.Path) != 2 {
+		t.Errorf("hop-count path %v, want direct", hop.Path)
+	}
+	air, ok := n.ShortestPath(0, 2, Airtime)
+	if !ok {
+		t.Fatal("no airtime route")
+	}
+	if air.ThroughputMbps < hop.ThroughputMbps {
+		t.Errorf("airtime routing throughput %v below hop-count %v",
+			air.ThroughputMbps, hop.ThroughputMbps)
+	}
+}
+
+func TestAirtimeRoutingBeatsHopCount(t *testing.T) {
+	// The paper's C10 claim: multiple hops over high capacity links can
+	// beat single hops over low capacity links — and the airtime metric
+	// finds them.
+	nodes := LinearTopology(4, 40) // 4 hops of 40 m vs one 160 m shot
+	n := New(nodes, testLink(false))
+	direct := n.RateBetween(0, 4)
+	air, ok := n.ShortestPath(0, 4, Airtime)
+	if !ok {
+		t.Fatal("no route")
+	}
+	if direct > 0 && air.ThroughputMbps <= direct {
+		t.Errorf("multi-hop airtime throughput %v not above direct %v", air.ThroughputMbps, direct)
+	}
+	if len(air.Path) <= 2 {
+		t.Errorf("airtime path %v should relay", air.Path)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	n := New([]Node{{X: 0}, {X: 9000}}, testLink(false))
+	if _, ok := n.ShortestPath(0, 1, HopCount); ok {
+		t.Error("9 km link should be unreachable")
+	}
+	if tp := n.Throughput(0, 1, Airtime); tp != 0 {
+		t.Errorf("unreachable throughput %v", tp)
+	}
+}
+
+func TestMultiHopThroughputIsHarmonic(t *testing.T) {
+	n := New(LinearTopology(2, 30), testLink(false))
+	r, ok := n.ShortestPath(0, 2, Airtime)
+	if !ok {
+		t.Fatal("no route")
+	}
+	if len(r.Path) == 3 {
+		r1 := n.RateBetween(0, 1)
+		r2 := n.RateBetween(1, 2)
+		want := 1 / (1/r1 + 1/r2)
+		if math.Abs(r.ThroughputMbps-want) > 1e-9 {
+			t.Errorf("throughput %v, want harmonic %v", r.ThroughputMbps, want)
+		}
+	}
+}
+
+func TestCoverageGrowsWithMeshNodes(t *testing.T) {
+	// C9: mesh relays dramatically increase served area.
+	link := testLink(false)
+	const area, step, minRate = 400.0, 20.0, 6.0
+	single := New([]Node{{X: 200, Y: 200}}, link)
+	cSingle := single.Coverage(area, step, minRate, Airtime)
+	meshNodes := []Node{
+		{X: 200, Y: 200}, {X: 80, Y: 80}, {X: 320, Y: 80},
+		{X: 80, Y: 320}, {X: 320, Y: 320},
+	}
+	meshNet := New(meshNodes, link)
+	cMesh := meshNet.Coverage(area, step, minRate, Airtime)
+	if cMesh.ServedFraction <= cSingle.ServedFraction {
+		t.Errorf("mesh coverage %v not above single-AP %v",
+			cMesh.ServedFraction, cSingle.ServedFraction)
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	n := New([]Node{{X: 50, Y: 50}}, testLink(false))
+	c := n.Coverage(100, 10, 6, HopCount)
+	if c.ServedFraction < 0 || c.ServedFraction > 1 {
+		t.Errorf("fraction %v out of bounds", c.ServedFraction)
+	}
+	empty := New(nil, testLink(false))
+	if got := empty.Coverage(100, 10, 6, HopCount); got.ServedFraction != 0 {
+		t.Errorf("empty network coverage %v", got.ServedFraction)
+	}
+}
+
+func TestRoutingOptimalityInvariants(t *testing.T) {
+	// Dijkstra optimality, checked over random topologies: the airtime
+	// route can never cost more airtime than the hop-count route, and the
+	// hop-count route can never use more hops than the airtime route.
+	link := testLink(false)
+	seed := int64(1)
+	for trial := 0; trial < 15; trial++ {
+		seed++
+		nodes := randomNodes(seed, 12, 300)
+		n := New(nodes, link)
+		for dst := 1; dst < len(nodes); dst += 3 {
+			air, okA := n.ShortestPath(0, dst, Airtime)
+			hop, okH := n.ShortestPath(0, dst, HopCount)
+			if okA != okH {
+				t.Fatalf("metrics disagree on reachability of %d", dst)
+			}
+			if !okA {
+				continue
+			}
+			if pathAirtime(n, air.Path) > pathAirtime(n, hop.Path)+1e-9 {
+				t.Errorf("airtime route costs more airtime than hop-count route")
+			}
+			if len(hop.Path) > len(air.Path) {
+				t.Errorf("hop-count route uses more hops (%d) than airtime route (%d)",
+					len(hop.Path)-1, len(air.Path)-1)
+			}
+			if air.ThroughputMbps <= 0 {
+				t.Errorf("reachable route with zero throughput")
+			}
+		}
+	}
+}
+
+func randomNodes(seed int64, n int, side float64) []Node {
+	state := uint64(seed)*2654435761 + 1
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{X: next() * side, Y: next() * side}
+	}
+	return nodes
+}
+
+func pathAirtime(n *Network, path []int) float64 {
+	var cost float64
+	for k := 0; k+1 < len(path); k++ {
+		cost += linkWeight(Airtime, n.RateBetween(path[k], path[k+1]))
+	}
+	return cost
+}
+
+func TestTopologies(t *testing.T) {
+	lin := LinearTopology(3, 10)
+	if len(lin) != 4 || lin[3].X != 30 {
+		t.Errorf("linear topology wrong: %+v", lin)
+	}
+	grid := GridTopology(3, 10)
+	if len(grid) != 9 {
+		t.Errorf("grid size %d", len(grid))
+	}
+	if grid[8].X != 20 || grid[8].Y != 20 {
+		t.Errorf("grid corner at %v,%v", grid[8].X, grid[8].Y)
+	}
+}

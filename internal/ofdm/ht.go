@@ -1,0 +1,86 @@
+package ofdm
+
+import "repro/internal/dsp"
+
+// HT20 returns the 802.11n 20 MHz numerology: 64-point FFT with 52 data
+// carriers (four more than 802.11a) and 4 pilots at +/-7 and +/-21.
+func HT20() *Grid {
+	g := &Grid{NFFT: 64, CP: 16}
+	pilotSet := map[int]bool{-21: true, -7: true, 7: true, 21: true}
+	for k := -28; k <= 28; k++ {
+		if k == 0 {
+			continue
+		}
+		if pilotSet[k] {
+			g.Pilots = append(g.Pilots, bin(64, k))
+			v := complex(1, 0)
+			if k == 21 {
+				v = -1
+			}
+			g.PilotVals = append(g.PilotVals, v)
+			continue
+		}
+		g.Data = append(g.Data, bin(64, k))
+	}
+	return g
+}
+
+// WithShortGI returns a copy of the grid using the 400 ns short guard
+// interval (half the normal cyclic prefix).
+func (g *Grid) WithShortGI() *Grid {
+	out := *g
+	out.CP = g.CP / 2
+	return &out
+}
+
+// PlaceBins builds a full-FFT frequency vector from exactly NumData data
+// symbols plus the grid's pilots.
+func (g *Grid) PlaceBins(data []complex128) []complex128 {
+	if len(data) != g.NumData() {
+		panic("ofdm: PlaceBins needs exactly NumData symbols")
+	}
+	freq := make([]complex128, g.NFFT)
+	for i, b := range g.Data {
+		freq[b] = data[i]
+	}
+	for i, b := range g.Pilots {
+		freq[b] = g.PilotVals[i]
+	}
+	return freq
+}
+
+// AssembleSymbol turns a full-FFT frequency vector into one time-domain
+// symbol with cyclic prefix and the standard transmit scaling. This is
+// the low-level path used by the MIMO PHY, which precodes in the
+// frequency domain before assembly.
+func (g *Grid) AssembleSymbol(freq []complex128) []complex128 {
+	if len(freq) != g.NFFT {
+		panic("ofdm: AssembleSymbol needs a full FFT vector")
+	}
+	body := dsp.IFFT(freq)
+	dsp.Scale(body, g.txScale())
+	out := make([]complex128, 0, g.SymbolLen())
+	out = append(out, body[g.NFFT-g.CP:]...)
+	out = append(out, body...)
+	return out
+}
+
+// RawBins strips the cyclic prefix from one received symbol and returns
+// the un-equalized FFT bins.
+func (g *Grid) RawBins(samples []complex128) []complex128 {
+	if len(samples) < g.SymbolLen() {
+		panic("ofdm: short symbol")
+	}
+	return dsp.FFT(samples[g.CP : g.CP+g.NFFT])
+}
+
+// LTFFreq exposes the known long-training frequency values (zero on
+// unused bins) for receivers that estimate multi-antenna channels from
+// per-stream training slots.
+func (g *Grid) LTFFreq() []complex128 { return g.ltfFreq() }
+
+// BuildLTFSymbol returns a single training symbol (one CP + body), the
+// building block of the per-stream HT long training fields.
+func (g *Grid) BuildLTFSymbol() []complex128 {
+	return g.AssembleSymbol(g.ltfFreq())
+}

@@ -1,0 +1,144 @@
+package ofdm
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/modem"
+	"repro/internal/rng"
+)
+
+func TestHT20Layout(t *testing.T) {
+	g := HT20()
+	if g.NumData() != 52 {
+		t.Errorf("HT20 data carriers = %d, want 52", g.NumData())
+	}
+	if len(g.Pilots) != 4 {
+		t.Errorf("HT20 pilots = %d, want 4", len(g.Pilots))
+	}
+	if g.NFFT != 64 || g.CP != 16 {
+		t.Errorf("HT20 numerology %d/%d", g.NFFT, g.CP)
+	}
+	for _, b := range g.Data {
+		if b == 0 {
+			t.Error("DC bin used")
+		}
+	}
+}
+
+func TestWithShortGI(t *testing.T) {
+	g := HT20()
+	s := g.WithShortGI()
+	if s.CP != g.CP/2 {
+		t.Errorf("short GI CP = %d, want %d", s.CP, g.CP/2)
+	}
+	if g.CP != 16 {
+		t.Error("WithShortGI mutated the original grid")
+	}
+	if s.SymbolLen() != 72 {
+		t.Errorf("short-GI symbol length %d, want 72", s.SymbolLen())
+	}
+}
+
+func TestPlaceBinsRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	g := HT20()
+	data := modem.QPSK.Modulate(src.Bits(2 * g.NumData()))
+	freq := g.PlaceBins(data)
+	if len(freq) != g.NFFT {
+		t.Fatalf("freq length %d", len(freq))
+	}
+	for i, b := range g.Data {
+		if freq[b] != data[i] {
+			t.Fatal("data symbol misplaced")
+		}
+	}
+	for i, b := range g.Pilots {
+		if freq[b] != g.PilotVals[i] {
+			t.Fatal("pilot misplaced")
+		}
+	}
+}
+
+func TestPlaceBinsWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong data count should panic")
+		}
+	}()
+	HT20().PlaceBins(make([]complex128, 3))
+}
+
+func TestAssembleRawBinsInverse(t *testing.T) {
+	// RawBins(AssembleSymbol(freq)) recovers freq up to the tx scaling.
+	src := rng.New(2)
+	g := HT20()
+	data := modem.QAM16.Modulate(src.Bits(4 * g.NumData()))[:g.NumData()]
+	freq := g.PlaceBins(data)
+	sym := g.AssembleSymbol(freq)
+	if len(sym) != g.SymbolLen() {
+		t.Fatalf("symbol length %d", len(sym))
+	}
+	bins := g.RawBins(sym)
+	scale := complex(g.txScale(), 0)
+	for b := 0; b < g.NFFT; b++ {
+		if cmplx.Abs(bins[b]-freq[b]*scale) > 1e-9 {
+			t.Fatalf("bin %d: %v != %v", b, bins[b], freq[b]*scale)
+		}
+	}
+}
+
+func TestAssembleSymbolCyclicPrefix(t *testing.T) {
+	src := rng.New(3)
+	g := HT40()
+	data := modem.QPSK.Modulate(src.Bits(2 * g.NumData()))
+	sym := g.AssembleSymbol(g.PlaceBins(data))
+	for i := 0; i < g.CP; i++ {
+		if cmplx.Abs(sym[i]-sym[g.NFFT+i]) > 1e-9 {
+			t.Fatalf("CP sample %d not cyclic", i)
+		}
+	}
+}
+
+func TestAssembleSymbolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short freq vector should panic")
+		}
+	}()
+	HT20().AssembleSymbol(make([]complex128, 10))
+}
+
+func TestRawBinsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short symbol should panic")
+		}
+	}()
+	HT20().RawBins(make([]complex128, 10))
+}
+
+func TestLTFFreqAndSymbol(t *testing.T) {
+	g := HT20()
+	freq := g.LTFFreq()
+	used := 0
+	for _, v := range freq {
+		if v != 0 {
+			used++
+			if m := cmplx.Abs(v); m < 0.99 || m > 1.01 {
+				t.Errorf("LTF value magnitude %v, want 1", m)
+			}
+		}
+	}
+	if used != g.NumUsed() {
+		t.Errorf("LTF populates %d bins, want %d", used, g.NumUsed())
+	}
+	sym := g.BuildLTFSymbol()
+	if len(sym) != g.SymbolLen() {
+		t.Errorf("LTF symbol length %d", len(sym))
+	}
+	if p := dsp.MeanPower(sym); p < 0.5 || p > 2 {
+		t.Errorf("LTF symbol power %v", p)
+	}
+}

@@ -1,0 +1,247 @@
+// Package ofdm implements the orthogonal frequency-division multiplexing
+// waveform of 802.11a/g and the wider 40 MHz variant used by 802.11n:
+// subcarrier mapping with pilots, IFFT/cyclic-prefix symbol construction,
+// long-training-field channel estimation, per-carrier equalization, and
+// pilot-based common-phase-error correction.
+package ofdm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+)
+
+// Grid describes one OFDM numerology: FFT size, cyclic prefix, and which
+// bins carry data and pilots.
+type Grid struct {
+	NFFT      int
+	CP        int
+	Data      []int        // data-bearing FFT bins, in subcarrier order
+	Pilots    []int        // pilot FFT bins
+	PilotVals []complex128 // BPSK pilot values, one per pilot bin
+}
+
+// bin converts a signed subcarrier index to an FFT bin.
+func bin(nfft, k int) int {
+	if k < 0 {
+		return nfft + k
+	}
+	return k
+}
+
+// Standard20 returns the 802.11a/g 20 MHz numerology: 64-point FFT,
+// 16-sample cyclic prefix, 48 data carriers, 4 pilots at +/-7 and +/-21.
+func Standard20() *Grid {
+	g := &Grid{NFFT: 64, CP: 16}
+	pilotSet := map[int]bool{-21: true, -7: true, 7: true, 21: true}
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		if pilotSet[k] {
+			g.Pilots = append(g.Pilots, bin(64, k))
+			v := complex(1, 0)
+			if k == 21 {
+				v = -1
+			}
+			g.PilotVals = append(g.PilotVals, v)
+			continue
+		}
+		g.Data = append(g.Data, bin(64, k))
+	}
+	return g
+}
+
+// HT40 returns the 802.11n 40 MHz numerology: 128-point FFT, 32-sample
+// cyclic prefix, 108 data carriers, 6 pilots at +/-11, +/-25, +/-53.
+func HT40() *Grid {
+	g := &Grid{NFFT: 128, CP: 32}
+	pilotSet := map[int]bool{-53: true, -25: true, -11: true, 11: true, 25: true, 53: true}
+	for k := -58; k <= 58; k++ {
+		if k >= -1 && k <= 1 {
+			continue // three-carrier DC hole
+		}
+		if pilotSet[k] {
+			g.Pilots = append(g.Pilots, bin(128, k))
+			v := complex(1, 0)
+			if k > 0 && k != 11 {
+				v = -1
+			}
+			g.PilotVals = append(g.PilotVals, v)
+			continue
+		}
+		g.Data = append(g.Data, bin(128, k))
+	}
+	return g
+}
+
+// NumData returns the data carriers per OFDM symbol.
+func (g *Grid) NumData() int { return len(g.Data) }
+
+// NumUsed returns data plus pilot carriers.
+func (g *Grid) NumUsed() int { return len(g.Data) + len(g.Pilots) }
+
+// SymbolLen returns the time-domain samples per OFDM symbol (with CP).
+func (g *Grid) SymbolLen() int { return g.NFFT + g.CP }
+
+// txScale normalizes the time-domain mean power to the per-carrier
+// constellation power: for unit-energy constellations the waveform has
+// unit mean power.
+func (g *Grid) txScale() float64 {
+	return float64(g.NFFT) / math.Sqrt(float64(g.NumUsed()))
+}
+
+// modulateOne builds one time-domain symbol (CP + body) from exactly
+// NumData data symbols.
+func (g *Grid) modulateOne(data []complex128) []complex128 {
+	freq := make([]complex128, g.NFFT)
+	for i, b := range g.Data {
+		freq[b] = data[i]
+	}
+	for i, b := range g.Pilots {
+		freq[b] = g.PilotVals[i]
+	}
+	body := dsp.IFFT(freq)
+	dsp.Scale(body, g.txScale())
+	out := make([]complex128, 0, g.SymbolLen())
+	out = append(out, body[g.NFFT-g.CP:]...)
+	out = append(out, body...)
+	return out
+}
+
+// Modulate maps a stream of data symbols (a multiple of NumData) onto
+// consecutive OFDM symbols and returns the concatenated waveform.
+func (g *Grid) Modulate(data []complex128) []complex128 {
+	nd := g.NumData()
+	if len(data)%nd != 0 {
+		panic(fmt.Sprintf("ofdm: %d data symbols not a multiple of %d", len(data), nd))
+	}
+	nSym := len(data) / nd
+	out := make([]complex128, 0, nSym*g.SymbolLen())
+	for s := 0; s < nSym; s++ {
+		out = append(out, g.modulateOne(data[s*nd:(s+1)*nd])...)
+	}
+	return out
+}
+
+// Equalized holds one demodulated OFDM symbol.
+type Equalized struct {
+	Data     []complex128 // equalized data-carrier symbols
+	ChanGain []float64    // |H|^2 per data carrier, for per-carrier LLR scaling
+}
+
+// DemodulateSymbol recovers one OFDM symbol given the effective
+// per-bin channel estimate H (which absorbs the transmit scaling; see
+// EstimateChannel and PerfectChannelEstimate). Pilot tones correct the
+// common phase error before equalization.
+func (g *Grid) DemodulateSymbol(samples []complex128, h []complex128) Equalized {
+	if len(samples) < g.SymbolLen() {
+		panic("ofdm: short symbol")
+	}
+	body := samples[g.CP : g.CP+g.NFFT]
+	freq := dsp.FFT(body)
+
+	// Common phase error from pilots: average rotation of received pilots
+	// relative to H * pilot value.
+	var acc complex128
+	for i, b := range g.Pilots {
+		ref := h[b] * g.PilotVals[i]
+		acc += freq[b] * cmplx.Conj(ref)
+	}
+	cpe := complex(1, 0)
+	if m := cmplx.Abs(acc); m > 1e-12 {
+		cpe = acc / complex(m, 0)
+	}
+
+	out := Equalized{
+		Data:     make([]complex128, len(g.Data)),
+		ChanGain: make([]float64, len(g.Data)),
+	}
+	for i, b := range g.Data {
+		hk := h[b]
+		mag2 := real(hk)*real(hk) + imag(hk)*imag(hk)
+		out.ChanGain[i] = mag2
+		if mag2 < 1e-18 {
+			out.Data[i] = 0
+			continue
+		}
+		out.Data[i] = freq[b] * cmplx.Conj(cpe) / hk
+	}
+	return out
+}
+
+// Demodulate splits a waveform into OFDM symbols and demodulates each.
+func (g *Grid) Demodulate(samples []complex128, h []complex128) []Equalized {
+	nSym := len(samples) / g.SymbolLen()
+	out := make([]Equalized, nSym)
+	for s := 0; s < nSym; s++ {
+		out[s] = g.DemodulateSymbol(samples[s*g.SymbolLen():(s+1)*g.SymbolLen()], h)
+	}
+	return out
+}
+
+// ltfFreq returns the known long-training values: BPSK +/-1 on every used
+// carrier with a deterministic sign pattern.
+func (g *Grid) ltfFreq() []complex128 {
+	freq := make([]complex128, g.NFFT)
+	sign := 1.0
+	for _, b := range g.Data {
+		freq[b] = complex(sign, 0)
+		sign = -sign
+	}
+	for i, b := range g.Pilots {
+		freq[b] = g.PilotVals[i]
+	}
+	return freq
+}
+
+// BuildLTF returns the long training field: two identical training
+// symbols, each with a cyclic prefix, used for channel estimation.
+func (g *Grid) BuildLTF() []complex128 {
+	freq := g.ltfFreq()
+	body := dsp.IFFT(freq)
+	dsp.Scale(body, g.txScale())
+	sym := make([]complex128, 0, g.SymbolLen())
+	sym = append(sym, body[g.NFFT-g.CP:]...)
+	sym = append(sym, body...)
+	return append(append([]complex128(nil), sym...), sym...)
+}
+
+// LTFLen returns the length of the training field in samples.
+func (g *Grid) LTFLen() int { return 2 * g.SymbolLen() }
+
+// EstimateChannel least-squares-estimates the effective per-bin channel
+// from a received LTF (averaging the two training symbols halves the
+// noise). The estimate absorbs the transmit scaling, so it can be passed
+// directly to DemodulateSymbol.
+func (g *Grid) EstimateChannel(rx []complex128) []complex128 {
+	if len(rx) < g.LTFLen() {
+		panic("ofdm: short LTF")
+	}
+	f1 := dsp.FFT(rx[g.CP : g.CP+g.NFFT])
+	f2 := dsp.FFT(rx[g.SymbolLen()+g.CP : g.SymbolLen()+g.CP+g.NFFT])
+	known := g.ltfFreq()
+	h := make([]complex128, g.NFFT)
+	for b := 0; b < g.NFFT; b++ {
+		if known[b] == 0 {
+			continue
+		}
+		h[b] = (f1[b] + f2[b]) / (2 * known[b])
+	}
+	return h
+}
+
+// PerfectChannelEstimate converts a physical channel's frequency response
+// into the effective estimate DemodulateSymbol expects (folding in the
+// transmit scaling), for genie-aided receivers.
+func (g *Grid) PerfectChannelEstimate(c *channel.TDL) []complex128 {
+	fr := c.FrequencyResponse(g.NFFT)
+	s := complex(g.txScale(), 0)
+	for i := range fr {
+		fr[i] *= s
+	}
+	return fr
+}

@@ -1,0 +1,260 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/modem"
+	"repro/internal/rng"
+)
+
+func TestGridLayout20(t *testing.T) {
+	g := Standard20()
+	if g.NumData() != 48 {
+		t.Errorf("data carriers = %d, want 48", g.NumData())
+	}
+	if len(g.Pilots) != 4 {
+		t.Errorf("pilots = %d, want 4", len(g.Pilots))
+	}
+	if g.SymbolLen() != 80 {
+		t.Errorf("symbol length = %d, want 80", g.SymbolLen())
+	}
+	// DC must be unused.
+	for _, b := range append(append([]int{}, g.Data...), g.Pilots...) {
+		if b == 0 {
+			t.Error("DC bin must not be used")
+		}
+		if b >= 27 && b <= 37 {
+			t.Errorf("guard bin %d in use", b)
+		}
+	}
+}
+
+func TestGridLayout40(t *testing.T) {
+	g := HT40()
+	if g.NumData() != 108 {
+		t.Errorf("data carriers = %d, want 108", g.NumData())
+	}
+	if len(g.Pilots) != 6 {
+		t.Errorf("pilots = %d, want 6", len(g.Pilots))
+	}
+	if g.NFFT != 128 || g.CP != 32 {
+		t.Errorf("numerology %d/%d", g.NFFT, g.CP)
+	}
+}
+
+func TestNoCarrierOverlap(t *testing.T) {
+	for _, g := range []*Grid{Standard20(), HT40()} {
+		seen := map[int]bool{}
+		for _, b := range g.Data {
+			if seen[b] {
+				t.Fatalf("bin %d repeated", b)
+			}
+			seen[b] = true
+		}
+		for _, b := range g.Pilots {
+			if seen[b] {
+				t.Fatalf("pilot bin %d overlaps data", b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestUnitMeanPower(t *testing.T) {
+	src := rng.New(1)
+	g := Standard20()
+	data := modem.QPSK.Modulate(src.Bits(2 * 48 * 20))
+	wave := g.Modulate(data)
+	if got := dsp.MeanPower(wave); math.Abs(got-1) > 0.15 {
+		t.Errorf("waveform mean power = %v, want ~1", got)
+	}
+}
+
+func TestCyclicPrefixIsCyclic(t *testing.T) {
+	src := rng.New(2)
+	g := Standard20()
+	data := modem.QPSK.Modulate(src.Bits(2 * 48))
+	wave := g.Modulate(data)
+	for i := 0; i < g.CP; i++ {
+		if cmplx.Abs(wave[i]-wave[g.NFFT+i]) > 1e-9 {
+			t.Fatalf("CP sample %d mismatch", i)
+		}
+	}
+}
+
+func TestRoundTripIdealChannel(t *testing.T) {
+	src := rng.New(3)
+	g := Standard20()
+	bits := src.Bits(4 * 48 * 5)
+	data := modem.QAM16.Modulate(bits)
+	wave := g.Modulate(data)
+	h := g.PerfectChannelEstimate(channel.Flat(1))
+	eqs := g.Demodulate(wave, h)
+	var rx []complex128
+	for _, e := range eqs {
+		rx = append(rx, e.Data...)
+	}
+	got := modem.QAM16.DemodulateHard(rx)
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d wrong after ideal round trip", i)
+		}
+	}
+}
+
+func TestRoundTripMultipathPerfectCSI(t *testing.T) {
+	// OFDM's reason for existence: per-carrier equalization flattens a
+	// frequency-selective channel as long as the CP covers the delay spread.
+	src := rng.New(4)
+	g := Standard20()
+	tdl := channel.NewTDL(8, 0.6, src) // 8 taps << CP 16
+	bits := src.Bits(2 * 48 * 10)
+	data := modem.QPSK.Modulate(bits)
+	wave := g.Modulate(data)
+	rxWave := tdl.Apply(wave)
+	h := g.PerfectChannelEstimate(tdl)
+	var rx []complex128
+	for _, e := range g.Demodulate(rxWave, h) {
+		rx = append(rx, e.Data...)
+	}
+	got := modem.QPSK.DemodulateHard(rx)
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Errorf("%d bit errors through multipath with perfect CSI", errs)
+	}
+}
+
+func TestLTFChannelEstimation(t *testing.T) {
+	src := rng.New(5)
+	g := Standard20()
+	tdl := channel.NewTDL(6, 0.5, src)
+	rxLTF := tdl.Apply(g.BuildLTF())
+	est := g.EstimateChannel(rxLTF)
+	want := g.PerfectChannelEstimate(tdl)
+	for _, b := range g.Data {
+		if cmplx.Abs(est[b]-want[b]) > 1e-6*(1+cmplx.Abs(want[b])) {
+			t.Fatalf("bin %d: est %v, want %v", b, est[b], want[b])
+		}
+	}
+}
+
+func TestLTFEstimationUnderNoise(t *testing.T) {
+	src := rng.New(6)
+	g := Standard20()
+	tdl := channel.NewTDL(4, 0.5, src)
+	rxLTF := channel.AWGN(tdl.Apply(g.BuildLTF()), 0.01, src)
+	est := g.EstimateChannel(rxLTF)
+	want := g.PerfectChannelEstimate(tdl)
+	var errSum, refSum float64
+	for _, b := range g.Data {
+		errSum += cmplx.Abs(est[b] - want[b])
+		refSum += cmplx.Abs(want[b])
+	}
+	if errSum/refSum > 0.1 {
+		t.Errorf("relative estimation error %v too high", errSum/refSum)
+	}
+}
+
+func TestEndToEndWithEstimatedChannel(t *testing.T) {
+	// Full receive chain: LTF estimation then data equalization, through
+	// multipath and mild noise.
+	src := rng.New(7)
+	g := Standard20()
+	tdl := channel.NewTDL(6, 0.5, src)
+	bits := src.Bits(2 * 48 * 8)
+	data := modem.QPSK.Modulate(bits)
+	tx := append(g.BuildLTF(), g.Modulate(data)...)
+	rx := channel.AWGN(tdl.Apply(tx), 0.003, src)
+	est := g.EstimateChannel(rx[:g.LTFLen()])
+	var syms []complex128
+	for _, e := range g.Demodulate(rx[g.LTFLen():], est) {
+		syms = append(syms, e.Data...)
+	}
+	got := modem.QPSK.DemodulateHard(syms)
+	errs := 0
+	for i := range bits {
+		if got[i] != bits[i] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(bits)); frac > 0.005 {
+		t.Errorf("BER %v with estimated channel at high SNR", frac)
+	}
+}
+
+func TestCommonPhaseErrorCorrection(t *testing.T) {
+	// A constant phase rotation (residual CFO) must be absorbed by the
+	// pilot-based CPE correction.
+	src := rng.New(8)
+	g := Standard20()
+	bits := src.Bits(2 * 48)
+	data := modem.QPSK.Modulate(bits)
+	wave := g.Modulate(data)
+	rot := cmplx.Exp(complex(0, 0.4))
+	for i := range wave {
+		wave[i] *= rot
+	}
+	h := g.PerfectChannelEstimate(channel.Flat(1)) // estimate does NOT know the rotation
+	var syms []complex128
+	for _, e := range g.Demodulate(wave, h) {
+		syms = append(syms, e.Data...)
+	}
+	got := modem.QPSK.DemodulateHard(syms)
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatal("CPE correction failed to absorb constant rotation")
+		}
+	}
+}
+
+func TestChanGainReflectsSelectivity(t *testing.T) {
+	src := rng.New(9)
+	g := Standard20()
+	tdl := channel.NewTDL(8, 0.7, src)
+	h := g.PerfectChannelEstimate(tdl)
+	data := modem.QPSK.Modulate(src.Bits(2 * 48))
+	eq := g.DemodulateSymbol(g.Modulate(data), h)
+	lo, hi := math.Inf(1), 0.0
+	for _, gain := range eq.ChanGain {
+		if gain < lo {
+			lo = gain
+		}
+		if gain > hi {
+			hi = gain
+		}
+	}
+	if hi <= lo {
+		t.Error("expected per-carrier gain variation on a selective channel")
+	}
+}
+
+func TestPaprOfdmExceedsSingleCarrier(t *testing.T) {
+	// The low-power section's premise: OFDM PAPR is several dB above a
+	// constant-envelope single-carrier signal.
+	src := rng.New(10)
+	g := Standard20()
+	data := modem.QAM64.Modulate(src.Bits(6 * 48 * 50))
+	wave := g.Modulate(data)
+	if papr := dsp.PAPRdB(wave); papr < 6 {
+		t.Errorf("OFDM PAPR %v dB, expected > 6 dB", papr)
+	}
+}
+
+func TestDemodulateSymbolShortInputPanics(t *testing.T) {
+	g := Standard20()
+	defer func() {
+		if recover() == nil {
+			t.Error("short symbol should panic")
+		}
+	}()
+	g.DemodulateSymbol(make([]complex128, 10), make([]complex128, 64))
+}

@@ -1,0 +1,91 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/linkmodel"
+	"repro/internal/rng"
+)
+
+// These tests tie the two layers of the repository together: the fast
+// analytic linkmodel that the MAC/mesh/range experiments sweep over, and
+// the Monte-Carlo PHY it abstracts. The analytic thresholds need not
+// match the simulation exactly (the model is deliberately simple), but
+// the ordering and rough spacing must agree or every downstream
+// experiment inherits a distorted rate ladder.
+
+func TestLinkmodelOrderingMatchesPhy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo calibration is slow")
+	}
+	src := rng.New(1)
+	modes := linkmodel.OfdmModes()
+	rates := []float64{6, 12, 24, 54}
+	var simThresholds []float64
+	var modelThresholds []float64
+	for _, rate := range rates {
+		p := mustOfdm(t, rate)
+		simThresholds = append(simThresholds,
+			SNRForPER(p, AWGNChannel, 0.1, 200, 25, src.Split()))
+		for _, m := range modes {
+			if m.RateMbps == rate {
+				modelThresholds = append(modelThresholds, m.SnrReqDB)
+			}
+		}
+	}
+	if len(modelThresholds) != len(rates) {
+		t.Fatal("mode lookup failed")
+	}
+	for i := 1; i < len(rates); i++ {
+		if simThresholds[i] <= simThresholds[i-1] {
+			t.Errorf("simulated thresholds not increasing: %v", simThresholds)
+		}
+		if modelThresholds[i] <= modelThresholds[i-1] {
+			t.Errorf("model thresholds not increasing: %v", modelThresholds)
+		}
+	}
+	// Absolute agreement within a generous band: the model has no
+	// channel-estimation loss and a fixed implementation gap.
+	for i := range rates {
+		diff := simThresholds[i] - modelThresholds[i]
+		if diff < -4 || diff > 6 {
+			t.Errorf("rate %v: simulated threshold %.1f dB vs model %.1f dB (diff %.1f)",
+				rates[i], simThresholds[i], modelThresholds[i], diff)
+		}
+	}
+}
+
+func TestLinkmodelDiversityMatchesPhyStbc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo calibration is slow")
+	}
+	// The model says diversity order 2 cuts fading PER hard above
+	// threshold; verify the PHY's Alamouti does the same relative to SISO
+	// at identical mean SNR.
+	src := rng.New(2)
+	siso := mustHtCal(t, HtConfig{MCS: 0})
+	stbc := mustHtCal(t, HtConfig{MCS: 0, STBC: true, NRx: 1})
+	const snr = 12.0
+	perSiso := MeasurePERMimo(siso, FlatMimoChannel, snr, 150, 80, src.Split()).PER()
+	perStbc := MeasurePERMimo(stbc, FlatMimoChannel, snr, 150, 80, src.Split()).PER()
+	m1 := linkmodel.HtModes(linkmodel.HtOptions{Streams: 1, RxChains: 1})[0]
+	m2 := m1
+	m2.DiversityOrder = 2
+	pm1 := m1.PERFading(snr)
+	pm2 := m2.PERFading(snr)
+	if perSiso <= perStbc {
+		t.Errorf("PHY: SISO PER %v not above STBC %v", perSiso, perStbc)
+	}
+	if pm1 <= pm2 {
+		t.Errorf("model: order-1 PER %v not above order-2 %v", pm1, pm2)
+	}
+}
+
+func mustHtCal(t *testing.T, cfg HtConfig) *Ht {
+	t.Helper()
+	p, err := NewHt(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

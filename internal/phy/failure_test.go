@@ -1,0 +1,137 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+// Failure-injection tests: a production receiver must reject garbage
+// gracefully — no panics, no false accepts — under truncation, wrong
+// noise estimates, empty payloads and adversarial corruption.
+
+func allSisoPhys(t *testing.T) []LinkPHY {
+	t.Helper()
+	d, _ := NewDsss(2)
+	f, _ := NewFhss(1)
+	c, _ := NewCck(11)
+	o, _ := NewOfdm(24)
+	return []LinkPHY{d, f, c, o}
+}
+
+func TestEmptyPayloadRoundTrip(t *testing.T) {
+	for _, p := range allSisoPhys(t) {
+		tx := p.TxFrame(nil)
+		got, ok := p.RxFrame(tx, 1e-9)
+		if !ok {
+			t.Errorf("%s: empty payload rejected", p.Name())
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: empty payload decoded as %d bytes", p.Name(), len(got))
+		}
+	}
+}
+
+func TestTruncatedSamplesRejected(t *testing.T) {
+	src := rng.New(1)
+	for _, p := range allSisoPhys(t) {
+		tx := p.TxFrame(src.Bytes(100))
+		for _, frac := range []float64{0, 0.1, 0.5, 0.9} {
+			cut := tx[:int(float64(len(tx))*frac)]
+			if _, ok := p.RxFrame(cut, 0.01); ok {
+				t.Errorf("%s: accepted %.0f%% of a frame", p.Name(), frac*100)
+			}
+		}
+	}
+}
+
+func TestGarbageSamplesRejected(t *testing.T) {
+	src := rng.New(2)
+	for _, p := range allSisoPhys(t) {
+		noise := src.ComplexGaussianVec(4096, 1)
+		if _, ok := p.RxFrame(noise, 1); ok {
+			t.Errorf("%s: decoded a frame from pure noise", p.Name())
+		}
+	}
+}
+
+func TestWrongNoiseEstimateStillDecodes(t *testing.T) {
+	// The OFDM receiver uses noiseVar only for LLR scaling; a 10x
+	// misestimate must not break error-free conditions.
+	src := rng.New(3)
+	p, _ := NewOfdm(24)
+	payload := src.Bytes(200)
+	noiseVar := 0.001
+	rx := channel.AWGN(p.TxFrame(payload), noiseVar, src)
+	for _, est := range []float64{noiseVar / 10, noiseVar * 10} {
+		if _, ok := p.RxFrame(rx, est); !ok {
+			t.Errorf("noise estimate %v broke decoding", est)
+		}
+	}
+}
+
+func TestHtTruncatedAndGarbage(t *testing.T) {
+	src := rng.New(4)
+	p, err := NewHt(HtConfig{MCS: 8, NRx: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := p.TxFrame(src.Bytes(100))
+	short := [][]complex128{tx[0][:50], tx[1][:50]}
+	if _, ok := p.RxFrame(short, 0.01); ok {
+		t.Error("HT accepted a truncated frame")
+	}
+	noise := [][]complex128{src.ComplexGaussianVec(3000, 1), src.ComplexGaussianVec(3000, 1)}
+	if _, ok := p.RxFrame(noise, 1); ok {
+		t.Error("HT decoded pure noise")
+	}
+	if _, ok := p.RxFrame([][]complex128{tx[0]}, 0.01); ok {
+		t.Error("HT accepted wrong antenna count")
+	}
+}
+
+func TestMaxPayload(t *testing.T) {
+	src := rng.New(5)
+	p, _ := NewOfdm(54)
+	payload := src.Bytes(2304) // 802.11 MSDU maximum
+	rx := channel.AWGN(p.TxFrame(payload), 1e-4, src)
+	got, ok := p.RxFrame(rx, 1e-4)
+	if !ok || len(got) != len(payload) {
+		t.Fatal("maximum-size frame failed")
+	}
+}
+
+func TestOversizePayloadPanics(t *testing.T) {
+	p, _ := NewOfdm(6)
+	defer func() {
+		if recover() == nil {
+			t.Error("payload beyond the 16-bit length field should panic")
+		}
+	}()
+	p.TxFrame(make([]byte, 70000))
+}
+
+func TestAdversarialBitFlips(t *testing.T) {
+	// Flip random samples hard enough to corrupt the frame: the FCS must
+	// catch every case (no silent wrong-payload accepts).
+	src := rng.New(6)
+	p, _ := NewCck(11)
+	payload := src.Bytes(200)
+	falseAccepts := 0
+	for trial := 0; trial < 100; trial++ {
+		tx := p.TxFrame(payload)
+		// Invert a contiguous burst of chips.
+		start := src.Intn(len(tx) - 64)
+		for i := start; i < start+64; i++ {
+			tx[i] = -tx[i]
+		}
+		got, ok := p.RxFrame(tx, 0.01)
+		if ok && !byteSlicesEqual(got, payload) {
+			falseAccepts++
+		}
+	}
+	if falseAccepts > 0 {
+		t.Errorf("%d silent corruptions passed the FCS", falseAccepts)
+	}
+}

@@ -1,0 +1,81 @@
+package phy
+
+import (
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+// MimoChannelFactory draws a fresh MIMO channel per frame.
+type MimoChannelFactory func(nr, nt int, src *rng.Source) *channel.MIMOTDL
+
+// FlatMimoChannel draws i.i.d. flat Rayleigh antenna pairs.
+func FlatMimoChannel(nr, nt int, src *rng.Source) *channel.MIMOTDL {
+	return channel.NewMIMOTDL(nr, nt, 1, 1, src)
+}
+
+// AwgnMimoChannel is a unit flat channel on every antenna pair: no
+// fading, pure noise. With more than one transmit antenna the matrix is
+// rank one, so use it only for single-stream comparisons (e.g. isolating
+// coding gain from channel outage).
+func AwgnMimoChannel(nr, nt int, _ *rng.Source) *channel.MIMOTDL {
+	m := &channel.MIMOTDL{Nr: nr, Nt: nt, Links: make([][]*channel.TDL, nr)}
+	for r := 0; r < nr; r++ {
+		m.Links[r] = make([]*channel.TDL, nt)
+		for t := 0; t < nt; t++ {
+			m.Links[r][t] = channel.Flat(1)
+		}
+	}
+	return m
+}
+
+// MultipathMimoChannel returns a factory for frequency-selective MIMO
+// channels with nTaps exponential taps per antenna pair.
+func MultipathMimoChannel(nTaps int, decay float64) MimoChannelFactory {
+	return func(nr, nt int, src *rng.Source) *channel.MIMOTDL {
+		return channel.NewMIMOTDL(nr, nt, nTaps, decay, src)
+	}
+}
+
+// MeasurePERMimo is the multi-antenna counterpart of MeasurePER: each
+// frame sees a fresh MIMO channel realization and per-antenna AWGN at the
+// given SNR (defined per receive antenna for unit total transmit power).
+// When the PHY beamforms, the channel's frequency response is handed to
+// it as transmit CSI before each frame.
+func MeasurePERMimo(p *Ht, factory MimoChannelFactory, snrDB float64, payloadLen, nFrames int, src *rng.Source) PERResult {
+	noiseVar := channel.NoiseVarFromSNRdB(snrDB)
+	res := PERResult{SNRdB: snrDB, Frames: nFrames}
+	for f := 0; f < nFrames; f++ {
+		payload := src.Bytes(payloadLen)
+		ch := factory(p.NumRx(), p.NumTx(), src)
+		if p.cfg.Beamform {
+			p.SetCSI(ch.FrequencyResponse(p.grid.NFFT))
+		}
+		tx := p.TxFrame(payload)
+		rx := ch.Apply(tx)
+		for j := range rx {
+			rx[j] = channel.AWGN(rx[j], noiseVar, src)
+		}
+		got, ok := p.RxFrame(rx, noiseVar)
+		res.BitsSent += payloadLen * 8
+		if !ok || !byteSlicesEqual(got, payload) {
+			res.Errors++
+			res.BitErrs += payloadErrors(payload, got)
+		}
+	}
+	return res
+}
+
+// SNRForPERMimo bisects SNR to the target PER for the HT PHY.
+func SNRForPERMimo(p *Ht, factory MimoChannelFactory, target float64, payloadLen, nFrames int, src *rng.Source) float64 {
+	lo, hi := -5.0, 50.0
+	for iter := 0; iter < 11; iter++ {
+		mid := (lo + hi) / 2
+		per := MeasurePERMimo(p, factory, mid, payloadLen, nFrames, src.Split()).PER()
+		if per > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

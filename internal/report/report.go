@@ -1,0 +1,118 @@
+// Package report renders experiment results as aligned text tables and
+// CSV, the output format of every reproduced "figure" and "table".
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment exhibit.
+type Table struct {
+	ID     string // experiment id, e.g. "E1"
+	Title  string
+	Note   string // paper claim being reproduced, shown under the title
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v != 0 && (v < 0.001 && v > -0.001):
+		return fmt.Sprintf("%.2e", v)
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  paper: %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// FormatRatio renders a multiplicative factor like "5.0x", keeping two
+// significant digits for factors below one so small ratios don't round
+// to "0.0x".
+func FormatRatio(r float64) string {
+	if r != 0 && r < 0.95 {
+		return fmt.Sprintf("%.2gx", r)
+	}
+	return fmt.Sprintf("%.1fx", r)
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

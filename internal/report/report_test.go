@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:     "T1",
+		Title:  "sample",
+		Note:   "a claim",
+		Header: []string{"name", "value"},
+	}
+	t.AddRow("alpha", 1.5)
+	t.AddRow("beta, the second", 42)
+	t.AddRow("gamma", 0.000123)
+	return t
+}
+
+func TestAddRowFormats(t *testing.T) {
+	tb := sample()
+	if tb.Rows[0][1] != "1.5" {
+		t.Errorf("float cell %q", tb.Rows[0][1])
+	}
+	if tb.Rows[1][1] != "42" {
+		t.Errorf("integer-valued cell %q", tb.Rows[1][1])
+	}
+	if !strings.Contains(tb.Rows[2][1], "e-") {
+		t.Errorf("tiny value cell %q should use scientific notation", tb.Rows[2][1])
+	}
+}
+
+func TestFormatAligned(t *testing.T) {
+	out := sample().Format()
+	if !strings.Contains(out, "T1: sample") {
+		t.Error("missing title line")
+	}
+	if !strings.Contains(out, "paper: a claim") {
+		t.Error("missing note line")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + note + header + separator + 3 rows
+	if len(lines) != 7 {
+		t.Errorf("line count %d", len(lines))
+	}
+	// Header and separator align.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("header %q and separator %q misaligned", lines[2], lines[3])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	out := sample().CSV()
+	if !strings.Contains(out, "\"beta, the second\"") {
+		t.Error("comma-bearing cell not quoted")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("CSV line count %d", len(lines))
+	}
+}
+
+func TestCSVQuoteEscaping(t *testing.T) {
+	tb := &Table{Header: []string{"a"}, Rows: [][]string{{`say "hi"`}}}
+	out := tb.CSV()
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Errorf("quotes not escaped: %q", out)
+	}
+}
+
+func TestFormatRatio(t *testing.T) {
+	cases := map[float64]string{
+		5.04:  "5.0x",
+		1.0:   "1.0x",
+		0.042: "0.042x",
+		0:     "0.0x",
+	}
+	for in, want := range cases {
+		if got := FormatRatio(in); got != want {
+			t.Errorf("FormatRatio(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAddRowMixedTypes(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c"}}
+	tb.AddRow(7, "text", true)
+	if tb.Rows[0][0] != "7" || tb.Rows[0][1] != "text" || tb.Rows[0][2] != "true" {
+		t.Errorf("row %v", tb.Rows[0])
+	}
+}

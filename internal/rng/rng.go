@@ -1,0 +1,111 @@
+// Package rng supplies the deterministic random sources used by every
+// stochastic component of the simulator: uniform and Gaussian variates,
+// circularly-symmetric complex Gaussians for noise and Rayleigh channels,
+// and a few distribution helpers.
+//
+// Every simulation object takes a *Source seeded explicitly so that
+// experiments are exactly reproducible run to run.
+package rng
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source wraps math/rand with the distributions the PHY and channel
+// models need. It is not safe for concurrent use; give each goroutine its
+// own Source (see Split).
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded with the given value.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child source. The child's stream is a
+// deterministic function of the parent state, so splitting in a fixed
+// order preserves reproducibility while decoupling consumers.
+func (s *Source) Split() *Source {
+	return New(s.r.Int63())
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform integer in [0, n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a uniform non-negative 63-bit integer.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
+
+// Bit returns 0 or 1 with equal probability.
+func (s *Source) Bit() byte {
+	return byte(s.r.Int63() & 1)
+}
+
+// Bits fills a slice of n equiprobable bits.
+func (s *Source) Bits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = s.Bit()
+	}
+	return out
+}
+
+// Bytes fills a slice with n uniform random bytes.
+func (s *Source) Bytes(n int) []byte {
+	out := make([]byte, n)
+	s.r.Read(out)
+	return out
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (s *Source) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// ComplexGaussian returns a circularly-symmetric complex Gaussian sample
+// with total variance sigma2 (that is, variance sigma2/2 per real
+// dimension). This is the CN(0, sigma2) distribution that models both
+// thermal noise and Rayleigh-faded channel taps.
+func (s *Source) ComplexGaussian(sigma2 float64) complex128 {
+	sd := math.Sqrt(sigma2 / 2)
+	return complex(sd*s.r.NormFloat64(), sd*s.r.NormFloat64())
+}
+
+// ComplexGaussianVec fills a new slice with n CN(0, sigma2) samples.
+func (s *Source) ComplexGaussianVec(n int, sigma2 float64) []complex128 {
+	out := make([]complex128, n)
+	sd := math.Sqrt(sigma2 / 2)
+	for i := range out {
+		out[i] = complex(sd*s.r.NormFloat64(), sd*s.r.NormFloat64())
+	}
+	return out
+}
+
+// Rayleigh returns a Rayleigh-distributed variate with scale sigma
+// (the mode); it is the magnitude of a CN(0, 2*sigma^2) sample.
+func (s *Source) Rayleigh(sigma float64) float64 {
+	u := s.r.Float64()
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	return sigma * math.Sqrt(-2*math.Log(u))
+}
+
+// Exponential returns an exponential variate with the given mean.
+func (s *Source) Exponential(mean float64) float64 {
+	return s.r.ExpFloat64() * mean
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle permutes the n elements addressed by swap in place.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }

@@ -1,0 +1,126 @@
+// Package sim is a minimal discrete-event simulation core: a virtual
+// clock and a priority queue of scheduled callbacks. The MAC power-save
+// and traffic models run on it.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback; it can be cancelled before it fires.
+type Event struct {
+	time      float64
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Time returns the event's scheduled time.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Safe to call more than once.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Engine is the simulation clock and event queue. The zero value is
+// ready to use.
+type Engine struct {
+	now   float64
+	queue eventHeap
+	seq   int64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay (which must not be negative) and returns
+// a handle for cancellation.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t >= Now.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic("sim: scheduling in the past")
+	}
+	e.seq++
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step fires the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.time
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue empties or the clock passes until.
+// Events scheduled exactly at until still fire.
+func (e *Engine) Run(until float64) {
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.time > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of live events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventHeap orders by time, breaking ties by scheduling order so the
+// simulation is deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventsFireInOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("firing order %v", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	e.Run(5)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.Schedule(10, tick)
+		}
+	}
+	e.Schedule(10, tick)
+	e.Run(100)
+	if count != 5 {
+		t.Errorf("ticks = %d, want 5", count)
+	}
+	if e.Now() != 100 {
+		t.Errorf("now = %v", e.Now())
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	var e Engine
+	fired := false
+	e.Schedule(50, func() { fired = true })
+	e.Run(10)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if e.Now() != 10 {
+		t.Errorf("now = %v, want 10", e.Now())
+	}
+	e.Run(100)
+	if !fired {
+		t.Error("event did not fire after extending horizon")
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func() {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("At in the past should panic")
+		}
+	}()
+	e.At(3, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
