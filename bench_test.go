@@ -59,3 +59,9 @@ func BenchmarkE18Signature(b *testing.B)      { benchExperiment(b, "E18") }
 func BenchmarkE19Anomaly(b *testing.B)        { benchExperiment(b, "E19") }
 func BenchmarkE20EnergyPerBit(b *testing.B)   { benchExperiment(b, "E20") }
 func BenchmarkE21Coexistence(b *testing.B)    { benchExperiment(b, "E21") }
+
+// E22/E23 exercise the packet-level netsim hot path: the discrete-event
+// loop plus per-transmission medium arbitration (carrier sense,
+// interference crossing, SINR judgment).
+func BenchmarkE22NetSim(b *testing.B)     { benchExperiment(b, "E22") }
+func BenchmarkE23TrafficMix(b *testing.B) { benchExperiment(b, "E23") }

@@ -1,4 +1,4 @@
-// Package experiments contains one runner per reproduced exhibit E1-E21.
+// Package experiments contains one runner per reproduced exhibit E1-E23.
 // The paper (a survey) prints no numbered tables or figures; each runner
 // regenerates one of its quantitative claims as a table, with the claim
 // quoted in the table note. EXPERIMENTS.md records paper-vs-measured.
@@ -58,6 +58,8 @@ func All() []Runner {
 		{"E19", "DCF performance anomaly (extension)", E19Anomaly},
 		{"E20", "Energy per delivered bit by generation", E20EnergyPerBit},
 		{"E21", "FHSS coexistence: fair and equal access", E21Coexistence},
+		{"E22", "Dense multi-BSS capacity: co-channel vs channel reuse (netsim)", E22DenseBSS},
+		{"E23", "Traffic-mix delay and fairness under contention (netsim)", E23TrafficMix},
 	}
 }
 

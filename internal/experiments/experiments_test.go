@@ -291,3 +291,34 @@ func TestCSVWellFormed(t *testing.T) {
 		t.Errorf("CSV has %d lines, want %d", len(lines), len(tb.Rows)+1)
 	}
 }
+
+func TestE22ChannelReuseBeatsCoChannel(t *testing.T) {
+	tb := E22DenseBSS(Quick())[0]
+	// Rows: 1 BSS, 2/3/4 co-channel, then 3/4 with 1/6/11 reuse.
+	oneBSS := parse(t, tb.Rows[0][2])
+	co3 := parse(t, tb.Rows[2][2])
+	reuse3 := parse(t, tb.Rows[4][2])
+	if co3 > oneBSS*2 {
+		t.Errorf("3 co-channel BSSs yielded %v Mbps vs %v for one; a shared collision domain cannot triple capacity", co3, oneBSS)
+	}
+	if reuse3 < co3*1.5 {
+		t.Errorf("1/6/11 reuse %v Mbps vs co-channel %v; orthogonal channels should multiply capacity", reuse3, co3)
+	}
+	coJain := parse(t, tb.Rows[3][4])
+	if coJain > parse(t, tb.Rows[0][4])+0.01 {
+		t.Errorf("fairness improved as co-channel cells piled on: %v", tb.Rows)
+	}
+}
+
+func TestE23VoiceDelayGrowsWithLoad(t *testing.T) {
+	tb := E23TrafficMix(Quick())[0]
+	first := parse(t, tb.Rows[0][2])
+	last := parse(t, tb.Rows[len(tb.Rows)-1][2])
+	if last < first {
+		t.Errorf("voice delay fell as data load rose: %v -> %v us", first, last)
+	}
+	// Data goodput must track offered load at the low end.
+	if got := parse(t, tb.Rows[0][5]); got < 0.5 {
+		t.Errorf("light data load delivered only %v Mbps", got)
+	}
+}

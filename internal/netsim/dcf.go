@@ -1,0 +1,141 @@
+package netsim
+
+// Event-driven DCF, one state machine per node. A node is idle (empty
+// queue), contending (a backoff is counting down, frozen whenever the
+// medium is sensed busy), or transmitting. The countdown is realised as
+// a single scheduled event at DIFS + slots·slotTime; carrier sense
+// cancels it and banks the slots already elapsed, idle restores it.
+// Two nodes whose countdowns expire in the same slot both transmit —
+// the pause path detects a zero remainder and fires immediately — which
+// is exactly how DCF collides.
+
+// slotEps absorbs float accumulation when dividing elapsed time into
+// whole slots.
+const slotEps = 1e-6
+
+// enqueue appends a packet, kicking off contention if the node was
+// idle. Full queues drop the arrival (drop-tail).
+func (nd *Node) enqueue(p *packet) bool {
+	if len(nd.queue) >= nd.net.cfg.QueueLimit {
+		nd.net.queueDrop++
+		return false
+	}
+	nd.queue = append(nd.queue, p)
+	if !nd.contending && !nd.transmitting {
+		nd.startContention()
+	}
+	return true
+}
+
+// startContention draws a fresh backoff from the current window and
+// arms the countdown (deferred while the medium is busy).
+func (nd *Node) startContention() {
+	nd.backoffSlots = nd.net.src.Intn(nd.cw + 1)
+	nd.contending = true
+	nd.tryResume()
+}
+
+// tryResume arms the countdown event when the medium is idle. The event
+// fires after a full DIFS plus the remaining backoff slots.
+func (nd *Node) tryResume() {
+	if !nd.contending || nd.transmitting || nd.busyCount > 0 || nd.boEvent != nil {
+		return
+	}
+	d := nd.net.cfg.Dcf
+	nd.boStartUs = nd.net.eng.Now() + d.DIFSUs
+	nd.boEvent = nd.net.eng.Schedule(d.DIFSUs+float64(nd.backoffSlots)*d.SlotUs, nd.transmit)
+}
+
+// pause reacts to the medium going busy: bank elapsed slots and cancel
+// the countdown. A countdown that had already reached zero in this very
+// slot transmits anyway — the station cannot sense and abort within the
+// slot, so it collides with the transmission that made the medium busy.
+func (nd *Node) pause() {
+	if nd.boEvent == nil {
+		return
+	}
+	nd.boEvent.Cancel()
+	nd.boEvent = nil
+	if nd.bankElapsedSlots() && nd.backoffSlots == 0 {
+		nd.transmit()
+	}
+}
+
+// freezeBackoff banks elapsed slots without the collide-on-zero rule;
+// roaming uses it so a scan never launches a transmission.
+func (nd *Node) freezeBackoff() {
+	if nd.boEvent == nil {
+		return
+	}
+	nd.boEvent.Cancel()
+	nd.boEvent = nil
+	nd.bankElapsedSlots()
+}
+
+// bankElapsedSlots subtracts the whole slots that elapsed since the
+// countdown started. It reports whether the countdown phase (post-DIFS)
+// had begun; during DIFS nothing has elapsed.
+func (nd *Node) bankElapsedSlots() bool {
+	elapsed := nd.net.eng.Now() - nd.boStartUs
+	if elapsed < -slotEps {
+		return false
+	}
+	slots := int((elapsed + slotEps) / nd.net.cfg.Dcf.SlotUs)
+	if slots > nd.backoffSlots {
+		slots = nd.backoffSlots
+	}
+	nd.backoffSlots -= slots
+	return true
+}
+
+// transmit puts the head-of-line frame on the air for its full
+// data+ACK exchange and schedules the outcome.
+func (nd *Node) transmit() {
+	nd.boEvent = nil
+	nd.contending = false
+	nd.transmitting = true
+	pkt := nd.queue[0]
+	rx := pkt.flow.dest()
+	mode := nd.net.linkMode(nd, rx)
+	tr := &transmission{tx: nd, rx: rx, pkt: pkt, mode: mode, startUs: nd.net.eng.Now()}
+	nd.med.start(tr)
+	nd.net.attempts++
+	nd.net.eng.Schedule(nd.net.airtimeUs(mode, pkt.bytes), func() { nd.complete(tr) })
+}
+
+// complete ends the exchange: judge the frame, update windows and
+// stats, and contend for the next queued frame.
+func (nd *Node) complete(tr *transmission) {
+	nd.med.finish(tr)
+	nd.transmitting = false
+	net := nd.net
+	if nd.med.succeeds(tr) {
+		net.delivered++
+		nd.queue = nd.queue[1:]
+		nd.cw = net.cfg.Dcf.CWMin
+		nd.retries = 0
+		tr.pkt.flow.delivered(tr.pkt, net.eng.Now())
+	} else {
+		if tr.interfered(mwFromDBm(net.noiseFloorDBm)) {
+			net.collisions++
+		} else {
+			net.noiseLoss++
+		}
+		nd.retries++
+		if nd.retries > net.cfg.Dcf.RetryLimit {
+			// Abandon the frame and reset the window, as 802.11 does.
+			net.retryDrops++
+			nd.queue = nd.queue[1:]
+			nd.cw = net.cfg.Dcf.CWMin
+			nd.retries = 0
+			tr.pkt.flow.dropped()
+		} else {
+			nd.cw = min(2*nd.cw+1, net.cfg.Dcf.CWMax)
+		}
+	}
+	// A saturated flow's refill may already have restarted contention
+	// from inside enqueue; don't redraw its backoff.
+	if len(nd.queue) > 0 && !nd.contending {
+		nd.startContention()
+	}
+}

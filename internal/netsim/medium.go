@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"math"
+
+	"repro/internal/linkmodel"
+)
+
+// medium is one radio channel: the set of nodes tuned to it and the
+// transmissions currently on the air. BSSs on different channels get
+// independent media (adjacent-channel leakage is not modelled), so
+// co-channel deployments contend and overlap while channel-separated
+// ones do not.
+type medium struct {
+	net     *Network
+	channel int
+	nodes   []*Node
+	active  []*transmission
+
+	// union busy-time accounting for the airtime-fraction stat
+	busyUs      float64
+	busyStartUs float64
+}
+
+// transmission is one data+ACK exchange in flight. Interference at the
+// receiver is tracked as a running sum of concurrent arrivals; the
+// worst overlap decides the SINR the frame is judged at.
+type transmission struct {
+	tx, rx  *Node
+	pkt     *packet
+	mode    linkmodel.Mode
+	startUs float64
+
+	curIntfMw float64
+	maxIntfMw float64
+	// doomed marks half-duplex conflicts: the receiver was (or began)
+	// transmitting while this frame was on the air.
+	doomed bool
+	// sensed lists the nodes whose busyCount this transmission raised,
+	// so finish decrements exactly that set even if gains shift or
+	// membership changes (roaming) while the frame is in flight.
+	sensed []*Node
+}
+
+func (t *transmission) addInterference(mw float64) {
+	t.curIntfMw += mw
+	if t.curIntfMw > t.maxIntfMw {
+		t.maxIntfMw = t.curIntfMw
+	}
+}
+
+// dropSensed removes nd from the release list without touching its
+// busyCount (the caller re-baselines it).
+func (t *transmission) dropSensed(nd *Node) {
+	for i, x := range t.sensed {
+		if x == nd {
+			t.sensed = append(t.sensed[:i], t.sensed[i+1:]...)
+			return
+		}
+	}
+}
+
+func (t *transmission) subInterference(mw float64) {
+	t.curIntfMw -= mw
+	if t.curIntfMw < 0 {
+		// Float residue, or a gain that shifted between add and sub
+		// because the endpoint moved mid-frame.
+		t.curIntfMw = 0
+	}
+}
+
+// start puts tr on the air: it crosses interference with every active
+// transmission, then raises carrier sense at nodes in range. Nodes
+// whose backoff expires at exactly this instant transmit from inside
+// the pause callback, which re-enters start — that recursion is the
+// collision mechanism, not a bug.
+func (m *medium) start(tr *transmission) {
+	if len(m.active) == 0 {
+		m.busyStartUs = m.net.eng.Now()
+	}
+	prev := m.active
+	m.active = append(m.active, tr)
+
+	for _, a := range prev {
+		if a.rx == tr.tx {
+			// The node a was addressed to is now talking over it.
+			a.doomed = true
+		}
+		if a.rx != tr.tx {
+			a.addInterference(mwFromDBm(m.net.rxPowerDBm(tr.tx, a.rx)))
+		}
+		if a.tx != tr.rx {
+			tr.addInterference(mwFromDBm(m.net.rxPowerDBm(a.tx, tr.rx)))
+		}
+	}
+	if tr.rx.transmitting {
+		tr.doomed = true
+	}
+
+	for _, nd := range m.nodes {
+		if nd == tr.tx {
+			continue
+		}
+		if m.net.rxPowerDBm(tr.tx, nd) >= m.net.cfg.CSThresholdDBm {
+			tr.sensed = append(tr.sensed, nd)
+			nd.busyCount++
+			if nd.busyCount == 1 {
+				nd.pause()
+			}
+		}
+	}
+}
+
+// finish takes tr off the air, unwinding the interference start added
+// and releasing carrier sense at exactly the nodes recorded in sensed
+// (a roamer re-baselines itself by dropping out of those lists).
+func (m *medium) finish(tr *transmission) {
+	for i, a := range m.active {
+		if a == tr {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	if len(m.active) == 0 {
+		m.busyUs += m.net.eng.Now() - m.busyStartUs
+	}
+	for _, a := range m.active {
+		if a.rx != tr.tx {
+			a.subInterference(mwFromDBm(m.net.rxPowerDBm(tr.tx, a.rx)))
+		}
+	}
+	for _, nd := range tr.sensed {
+		nd.busyCount--
+		if nd.busyCount == 0 {
+			nd.tryResume()
+		}
+	}
+}
+
+// remove drops a node from the medium's membership (roam to another
+// channel). Carrier-sense state is re-baselined by the caller.
+func (m *medium) remove(nd *Node) {
+	for i, x := range m.nodes {
+		if x == nd {
+			m.nodes = append(m.nodes[:i], m.nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// succeeds judges the finished frame: half-duplex conflicts always
+// fail; otherwise the worst-overlap SINR is pushed through the mode's
+// AWGN PER curve and a Bernoulli draw decides. A strong frame can
+// survive a weak overlap — the capture effect — because its SINR stays
+// above the waterfall.
+func (m *medium) succeeds(tr *transmission) bool {
+	if tr.doomed {
+		return false
+	}
+	sigMw := mwFromDBm(m.net.rxPowerDBm(tr.tx, tr.rx))
+	noiseMw := mwFromDBm(m.net.noiseFloorDBm)
+	sinrDB := 10 * math.Log10(sigMw/(noiseMw+tr.maxIntfMw))
+	per := tr.mode.PERAwgn(sinrDB)
+	return m.net.src.Float64() >= per
+}
+
+// interfered reports whether the frame saw meaningful co-channel
+// energy, classifying failures as collisions rather than noise losses.
+func (tr *transmission) interfered(noiseMw float64) bool {
+	return tr.doomed || tr.maxIntfMw > 0.1*noiseMw
+}

@@ -1,0 +1,439 @@
+// Package netsim is a packet-level, event-driven network simulator for
+// multi-BSS 802.11 deployments, built on the discrete-event engine in
+// internal/sim. Where internal/mac answers "what does saturated DCF
+// yield on average" with closed-form or slot-averaged models, netsim
+// plays out every frame exchange: stations draw backoff, freeze when
+// they sense the medium, collide at receivers they cannot hear
+// (hidden nodes), and succeed or fail by SINR through the
+// internal/linkmodel PER curves. Positions feed internal/channel path
+// loss, which feeds per-link rate selection from the internal/linkmodel
+// mode tables, so topology, PHY generation, and MAC contention interact
+// the way the paper describes rather than by assumption.
+//
+// The package exposes three levels:
+//
+//   - Network: build nodes/BSSs/flows by hand, then Run.
+//   - Scenario presets (DenseGrid, TrafficMix, HiddenPair): canned
+//     topologies used by experiments E22/E23 and cmd/netsim.
+//   - ScenarioRunner: fan independent seeds/scenarios across a worker
+//     pool; every job builds its own Network and rng.Source, so runs
+//     are bit-for-bit reproducible and race-free.
+//
+// Time is measured in microseconds throughout, matching mac.DcfConfig.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/linkmodel"
+	"repro/internal/mac"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Config carries the PHY/MAC/propagation parameters shared by every
+// node in a simulated network.
+type Config struct {
+	Dcf      mac.DcfConfig        // slot/DIFS/SIFS/CW timing
+	Modes    []linkmodel.Mode     // rate table for per-link selection
+	PathLoss channel.PathLossModel
+	Budget   channel.LinkBudget
+
+	// CSThresholdDBm is the energy-detect threshold: a node senses the
+	// medium busy when any ongoing same-channel transmission arrives
+	// above it. Nodes farther apart than the implied range are hidden
+	// from each other.
+	CSThresholdDBm float64
+
+	// QueueLimit bounds each node's transmit queue; arrivals beyond it
+	// are dropped (drop-tail).
+	QueueLimit int
+
+	// RoamIntervalUs, when positive, schedules a periodic scan on which
+	// mobile nodes move and stations reassociate to the strongest AP if
+	// it beats the current one by RoamHysteresisDB.
+	RoamIntervalUs   float64
+	RoamHysteresisDB float64
+}
+
+// DefaultConfig is an 802.11a/g network: OFDM 6-54 Mbps rates, 2.4 GHz
+// TGn path loss, 15 dBm clients, -82 dBm carrier sense.
+func DefaultConfig() Config {
+	return Config{
+		Dcf:              mac.Dot11agDcf(),
+		Modes:            linkmodel.OfdmModes(),
+		PathLoss:         channel.Model24GHz(),
+		Budget:           channel.DefaultLinkBudget(20e6),
+		CSThresholdDBm:   -82,
+		QueueLimit:       64,
+		RoamHysteresisDB: 3,
+	}
+}
+
+// BSS is one basic service set: an AP and its associated stations on a
+// fixed channel.
+type BSS struct {
+	AP      *Node
+	Channel int
+}
+
+// Node is a station or AP. All MAC state (queue, backoff, carrier
+// sense) lives here; medium.go and dcf.go drive it.
+type Node struct {
+	net  *Network
+	id   int
+	Name string
+	X, Y float64
+	ap   bool
+	bss  *BSS
+	med  *medium
+
+	// vx, vy move the node (metres/second) on each roam scan tick.
+	vx, vy float64
+
+	// DCF state (see dcf.go).
+	queue        []*packet
+	cw           int
+	backoffSlots int
+	retries      int
+	contending   bool
+	transmitting bool
+	busyCount    int
+	boEvent      *sim.Event
+	boStartUs    float64
+}
+
+// packet is one queued MAC frame.
+type packet struct {
+	flow      *Flow
+	bytes     int
+	arrivalUs float64
+}
+
+// Network is one simulated deployment. Build it with AddAP / AddStation
+// / AddFlow, then call Run exactly once. A Network must be driven from
+// a single goroutine; for parallelism build one Network per goroutine
+// (see ScenarioRunner).
+type Network struct {
+	cfg   Config
+	eng   sim.Engine
+	src   *rng.Source
+	nodes []*Node
+	bss   []*BSS
+	flows []*Flow
+	media []*medium
+
+	// rxDBm[i][j] is the received power at node j when node i
+	// transmits; shadowDB[i][j] is the symmetric per-pair shadowing
+	// draw baked into it.
+	rxDBm    [][]float64
+	shadowDB [][]float64
+
+	noiseFloorDBm float64
+	built         bool
+
+	// modeCache memoizes per-link rate selection; link SNR only changes
+	// when a node moves, which clears it (refreshGains).
+	modeCache map[[2]int]linkmodel.Mode
+
+	// run-level counters
+	attempts, delivered   int
+	collisions, noiseLoss int
+	retryDrops, queueDrop int
+	roams                 int
+}
+
+// New returns an empty network. All randomness (shadowing, backoff,
+// traffic, PER draws) comes from a single rng.Source seeded here, so a
+// fixed seed reproduces the run exactly.
+func New(cfg Config, seed int64) *Network {
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 64
+	}
+	return &Network{cfg: cfg, src: rng.New(seed), noiseFloorDBm: cfg.Budget.NoiseFloorDBm(),
+		modeCache: make(map[[2]int]linkmodel.Mode)}
+}
+
+// Src exposes the network's random source so scenario builders can
+// place nodes from the same deterministic stream.
+func (n *Network) Src() *rng.Source { return n.src }
+
+// AddAP creates a BSS with its AP at (x, y) on the given channel.
+func (n *Network) AddAP(name string, x, y float64, ch int) *BSS {
+	ap := n.addNode(name, x, y, true)
+	b := &BSS{AP: ap, Channel: ch}
+	ap.bss = b
+	n.bss = append(n.bss, b)
+	return b
+}
+
+// AddStation creates a station at (x, y) associated with b.
+func (n *Network) AddStation(b *BSS, name string, x, y float64) *Node {
+	st := n.addNode(name, x, y, false)
+	st.bss = b
+	return st
+}
+
+func (n *Network) addNode(name string, x, y float64, ap bool) *Node {
+	if n.built {
+		panic("netsim: cannot add nodes after Run")
+	}
+	nd := &Node{net: n, id: len(n.nodes), Name: name, X: x, Y: y, ap: ap, cw: n.cfg.Dcf.CWMin}
+	n.nodes = append(n.nodes, nd)
+	return nd
+}
+
+// SetVelocity gives the node a constant straight-line velocity in
+// metres/second; positions update on each roam scan tick
+// (RoamIntervalUs must be set). Nothing bounds the walk — scenarios
+// choose durations that keep mobile nodes in coverage.
+func (n *Network) SetVelocity(nd *Node, vxMps, vyMps float64) {
+	nd.vx, nd.vy = vxMps, vyMps
+}
+
+// AddFlow attaches a traffic source at from addressed to to. A nil to
+// means "the AP the sender is currently associated with", which keeps
+// uplink flows pointed at the right AP across roams. Generators with
+// internal state (OnOff) must not be shared between flows.
+func (n *Network) AddFlow(from, to *Node, gen TrafficGen) *Flow {
+	f := &Flow{net: n, From: from, To: to, Gen: gen}
+	n.flows = append(n.flows, f)
+	return f
+}
+
+// dist returns the distance in metres between two nodes.
+func dist(a, b *Node) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// build computes the pairwise gain matrix, groups nodes into per-channel
+// media, and selects per-station uplink modes.
+func (n *Network) build() {
+	nn := len(n.nodes)
+	n.shadowDB = make([][]float64, nn)
+	n.rxDBm = make([][]float64, nn)
+	for i := range n.nodes {
+		n.shadowDB[i] = make([]float64, nn)
+		n.rxDBm[i] = make([]float64, nn)
+	}
+	for i := 0; i < nn; i++ {
+		for j := i + 1; j < nn; j++ {
+			sh := 0.0
+			if n.cfg.PathLoss.ShadowDB > 0 {
+				sh = n.src.Gaussian(0, n.cfg.PathLoss.ShadowDB)
+			}
+			n.shadowDB[i][j], n.shadowDB[j][i] = sh, sh
+		}
+	}
+	for i := range n.nodes {
+		n.refreshGains(n.nodes[i])
+	}
+	// One medium per distinct channel, in first-appearance order so the
+	// node lists (and hence all event ordering) are deterministic.
+	for _, b := range n.bss {
+		m := n.mediumFor(b.Channel)
+		b.AP.med = m
+		m.nodes = append(m.nodes, b.AP)
+	}
+	for _, nd := range n.nodes {
+		if !nd.ap {
+			m := n.mediumFor(nd.bss.Channel)
+			nd.med = m
+			m.nodes = append(m.nodes, nd)
+		}
+	}
+	n.built = true
+}
+
+// refreshGains recomputes row and column i of the received-power matrix
+// (called at build and whenever node i moves).
+func (n *Network) refreshGains(nd *Node) {
+	clear(n.modeCache)
+	b := n.cfg.Budget
+	for j, other := range n.nodes {
+		if other == nd {
+			continue
+		}
+		loss := n.cfg.PathLoss.LossDB(dist(nd, other)) + n.shadowDB[nd.id][j]
+		p := b.TxPowerDBm + b.TxAntennaGain + b.RxAntennaGain - loss
+		n.rxDBm[nd.id][j] = p
+		n.rxDBm[j][nd.id] = p
+	}
+}
+
+func (n *Network) mediumFor(ch int) *medium {
+	for _, m := range n.media {
+		if m.channel == ch {
+			return m
+		}
+	}
+	m := &medium{net: n, channel: ch}
+	n.media = append(n.media, m)
+	return m
+}
+
+// rxPowerDBm returns the received power at node rx when tx transmits.
+func (n *Network) rxPowerDBm(tx, rx *Node) float64 { return n.rxDBm[tx.id][rx.id] }
+
+// linkSNRdB is the interference-free SNR of the tx→rx link.
+func (n *Network) linkSNRdB(tx, rx *Node) float64 {
+	return n.rxPowerDBm(tx, rx) - n.noiseFloorDBm
+}
+
+// linkMode selects the best rate-table mode for the link at its median
+// SNR (10% PER ceiling, falling back to the most robust mode). The
+// choice is memoized per link until a move invalidates the gains.
+func (n *Network) linkMode(tx, rx *Node) linkmodel.Mode {
+	key := [2]int{tx.id, rx.id}
+	if m, ok := n.modeCache[key]; ok {
+		return m
+	}
+	m, _ := linkmodel.BestMode(n.cfg.Modes, n.linkSNRdB(tx, rx), false, 0.1)
+	n.modeCache[key] = m
+	return m
+}
+
+// airtimeUs is the medium occupancy of one data+ACK exchange.
+func (n *Network) airtimeUs(m linkmodel.Mode, bytes int) float64 {
+	d := n.cfg.Dcf
+	return d.PlcpUs + float64(8*bytes)/m.RateMbps + d.SIFSUs + d.AckUs
+}
+
+// Run plays the network for durationUs of virtual time and returns the
+// aggregated result. It may be called only once per Network.
+func (n *Network) Run(durationUs float64) Result {
+	if n.built {
+		panic("netsim: Run called twice")
+	}
+	if len(n.flows) == 0 {
+		panic("netsim: no flows")
+	}
+	n.build()
+	for _, f := range n.flows {
+		f.start()
+	}
+	if n.cfg.RoamIntervalUs > 0 {
+		n.eng.Schedule(n.cfg.RoamIntervalUs, n.roamScan)
+	}
+	n.eng.Run(durationUs)
+	return n.collect(durationUs)
+}
+
+// roamScan moves mobile nodes and reassociates stations to the
+// strongest AP. It reschedules itself every RoamIntervalUs.
+func (n *Network) roamScan() {
+	dtS := n.cfg.RoamIntervalUs / 1e6
+	for _, nd := range n.nodes {
+		if nd.vx != 0 || nd.vy != 0 {
+			nd.X += nd.vx * dtS
+			nd.Y += nd.vy * dtS
+			n.refreshGains(nd)
+		}
+	}
+	for _, nd := range n.nodes {
+		if nd.ap || nd.transmitting {
+			// Never tear down an in-flight exchange; the station will
+			// reconsider on the next scan.
+			continue
+		}
+		// Pick the strongest AP, but only leave the current one when the
+		// winner clears it by the hysteresis margin.
+		best := nd.bss
+		curP := n.rxPowerDBm(best.AP, nd)
+		bestP := curP
+		for _, b := range n.bss {
+			if p := n.rxPowerDBm(b.AP, nd); p > curP+n.cfg.RoamHysteresisDB && p > bestP {
+				best, bestP = b, p
+			}
+		}
+		if best != nd.bss {
+			nd.reassociate(best)
+			n.roams++
+		}
+	}
+	n.eng.Schedule(n.cfg.RoamIntervalUs, n.roamScan)
+}
+
+// reassociate moves the station to the new BSS, switching media when
+// the channel differs and recomputing its carrier-sense state.
+func (nd *Node) reassociate(b *BSS) {
+	nd.freezeBackoff()
+	old := nd.med
+	next := nd.net.mediumFor(b.Channel)
+	nd.bss = b
+	// Drop out of the release lists of in-flight frames on the old
+	// medium, then re-baseline against the new medium's frames; each
+	// frame's finish decrements exactly the nodes in its sensed list,
+	// so the count stays paired even though gains just changed.
+	for _, tr := range old.active {
+		tr.dropSensed(nd)
+	}
+	if old != next {
+		old.remove(nd)
+		next.nodes = append(next.nodes, nd)
+		nd.med = next
+	}
+	nd.busyCount = 0
+	for _, tr := range nd.med.active {
+		if tr.tx != nd && nd.net.rxPowerDBm(tr.tx, nd) >= nd.net.cfg.CSThresholdDBm {
+			tr.sensed = append(tr.sensed, nd)
+			nd.busyCount++
+		}
+	}
+	nd.tryResume()
+}
+
+// Result is the outcome of one Network.Run.
+type Result struct {
+	DurationUs float64
+	Flows      []FlowStats
+
+	Attempts    int // transmissions started
+	Delivered   int // frames that passed the SINR draw
+	Collisions  int // failures with interference present
+	NoiseLosses int // failures on a clean channel
+	RetryDrops  int // frames abandoned past the retry limit
+	QueueDrops  int // arrivals lost to full queues
+	Roams       int
+
+	AggGoodputMbps float64
+	// AirtimeFrac is the union busy fraction of the busiest channel.
+	AirtimeFrac float64
+}
+
+func (n *Network) collect(durationUs float64) Result {
+	res := Result{
+		DurationUs: durationUs,
+		Attempts:   n.attempts, Delivered: n.delivered,
+		Collisions: n.collisions, NoiseLosses: n.noiseLoss,
+		RetryDrops: n.retryDrops, QueueDrops: n.queueDrop,
+		Roams: n.roams,
+	}
+	for _, f := range n.flows {
+		fs := f.stats(durationUs)
+		res.Flows = append(res.Flows, fs)
+		res.AggGoodputMbps += fs.GoodputMbps
+	}
+	for _, m := range n.media {
+		busy := m.busyUs
+		if len(m.active) > 0 {
+			busy += durationUs - m.busyStartUs
+		}
+		if frac := busy / durationUs; frac > res.AirtimeFrac {
+			res.AirtimeFrac = frac
+		}
+	}
+	return res
+}
+
+// String gives a one-line summary, handy in logs and the CLI.
+func (r Result) String() string {
+	return fmt.Sprintf("%.0f us: %d/%d delivered, %d collisions, %.2f Mbps, airtime %.2f",
+		r.DurationUs, r.Delivered, r.Attempts, r.Collisions, r.AggGoodputMbps, r.AirtimeFrac)
+}
+
+// mwFromDBm converts dBm to milliwatts.
+func mwFromDBm(dbm float64) float64 { return mathx.DBToLinear(dbm) }

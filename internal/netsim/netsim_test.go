@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// run1 is a small saturated single-BSS network for quick checks.
+func run1(seed int64, stations int, durationUs float64) Result {
+	build := DenseGrid(DefaultConfig(), 1, stations, []int{1}, 40, 1000)
+	return build(seed).Run(durationUs)
+}
+
+func TestFixedSeedIsBitForBitDeterministic(t *testing.T) {
+	a := run1(7, 5, 200000)
+	b := run1(7, 5, 200000)
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c := run1(8, 5, 200000)
+	if fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", c) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestSingleStationSaturatedGoodput(t *testing.T) {
+	res := run1(1, 1, 500000)
+	// One station 10m from the AP runs 54 Mbps. A 1000 B exchange is
+	// PLCP 20 + 148 + SIFS 16 + ACK 44 ≈ 228 us plus DIFS and ~7.5
+	// slots of backoff ≈ 330 us, so ~24 Mbps goodput. Accept a band.
+	if res.AggGoodputMbps < 18 || res.AggGoodputMbps > 30 {
+		t.Errorf("single-station goodput %.1f Mbps, want ~24", res.AggGoodputMbps)
+	}
+	if res.Collisions != 0 {
+		t.Errorf("%d collisions with one station", res.Collisions)
+	}
+	// Attempts may exceed judged frames by the exchanges still in
+	// flight when the horizon cuts the run.
+	inFlight := res.Attempts - (res.Delivered + res.Collisions + res.NoiseLosses)
+	if res.Delivered == 0 || inFlight < 0 || inFlight > 1 {
+		t.Errorf("attempt accounting off: %+v", res)
+	}
+}
+
+func TestContentionCausesCollisionsAndSharesFairly(t *testing.T) {
+	res := run1(3, 8, 500000)
+	if res.Collisions == 0 {
+		t.Error("8 saturated stations should collide sometimes")
+	}
+	if jain := JainIndex(Goodputs(res.Flows)); jain < 0.9 {
+		t.Errorf("equal-rate stations got Jain %.3f, want ≈1", jain)
+	}
+	single := run1(3, 1, 500000)
+	if res.AggGoodputMbps > single.AggGoodputMbps*1.05 {
+		t.Errorf("contention increased aggregate goodput: %.1f vs %.1f",
+			res.AggGoodputMbps, single.AggGoodputMbps)
+	}
+}
+
+func TestCoChannelBSSInterfere(t *testing.T) {
+	cfg := DefaultConfig()
+	const dur = 400000
+	same := DenseGrid(cfg, 2, 4, []int{1}, 30, 1000)(5).Run(dur)
+	split := DenseGrid(cfg, 2, 4, []int{1, 6}, 30, 1000)(5).Run(dur)
+	// Orthogonal channels should roughly double capacity over one
+	// shared collision domain.
+	if split.AggGoodputMbps < same.AggGoodputMbps*1.5 {
+		t.Errorf("channel split %.1f Mbps vs co-channel %.1f Mbps; expected ~2x",
+			split.AggGoodputMbps, same.AggGoodputMbps)
+	}
+	if same.Collisions == 0 {
+		t.Error("co-channel BSSs never collided")
+	}
+}
+
+func TestHiddenNodesCollideWithoutCarrierSense(t *testing.T) {
+	cfg := DefaultConfig()
+	const dur = 400000
+	// 300 m apart: each station decodes the AP (~150 m) but receives
+	// its peer far below the -82 dBm carrier-sense threshold.
+	hidden := HiddenPair(cfg, 300, 1000)(2).Run(dur)
+	exposed := HiddenPair(cfg, 40, 1000)(2).Run(dur)
+	hr := float64(hidden.Collisions) / float64(hidden.Attempts)
+	er := float64(exposed.Collisions) / float64(exposed.Attempts)
+	if hr < 0.25 {
+		t.Errorf("hidden pair collision rate %.2f, want heavy collisions", hr)
+	}
+	if er > hr/3 {
+		t.Errorf("in-range pair collision rate %.2f vs hidden %.2f; carrier sense should help", er, hr)
+	}
+	if hidden.AggGoodputMbps >= exposed.AggGoodputMbps {
+		t.Errorf("hidden goodput %.1f should trail exposed %.1f",
+			hidden.AggGoodputMbps, exposed.AggGoodputMbps)
+	}
+}
+
+func TestOverloadDropsAtTheQueue(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueLimit = 8
+	n := New(cfg, 4)
+	b := n.AddAP("AP", 0, 0, 1)
+	st := n.AddStation(b, "sta", 10, 0)
+	// ~96 Mbps offered into a ~24 Mbps link must shed most packets.
+	n.AddFlow(st, nil, CBR{PayloadBytes: 1200, IntervalUs: 100})
+	res := n.Run(300000)
+	fs := res.Flows[0]
+	if fs.QueueDrops == 0 {
+		t.Errorf("no queue drops under 4x overload: %+v", fs)
+	}
+	if fs.DropRate() < 0.5 {
+		t.Errorf("drop rate %.2f, want most of the overload shed", fs.DropRate())
+	}
+}
+
+func TestTrafficMixDelivers(t *testing.T) {
+	res := TrafficMix(DefaultConfig(), 4, 2, 1, 2.0)(6).Run(500000)
+	classes := map[string]int{}
+	for _, f := range res.Flows {
+		classes[f.Class] += f.Delivered
+	}
+	for _, class := range []string{"cbr", "poisson", "onoff"} {
+		if classes[class] == 0 {
+			t.Errorf("class %s delivered nothing: %v", class, classes)
+		}
+	}
+	// Lightly loaded voice should see sub-10ms mean delay.
+	for _, f := range res.Flows {
+		if f.Class == "cbr" && f.MeanDelayUs > 10000 {
+			t.Errorf("voice flow %s delay %.0f us under light load", f.Label, f.MeanDelayUs)
+		}
+	}
+}
+
+func TestDownlinkFlow(t *testing.T) {
+	n := New(DefaultConfig(), 9)
+	b := n.AddAP("AP", 0, 0, 1)
+	st := n.AddStation(b, "sta", 8, 0)
+	n.AddFlow(b.AP, st, Poisson{PayloadBytes: 800, PktPerSec: 500})
+	res := n.Run(400000)
+	if res.Flows[0].Delivered == 0 {
+		t.Fatalf("downlink delivered nothing: %+v", res.Flows[0])
+	}
+}
+
+func TestRoamingReassociatesToStrongerAP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RoamIntervalUs = 100000
+	// 2 m per 100 ms scan = 20 m/s walk: ends 100 m from AP1 and 20 m
+	// from AP2, far past the 3 dB reassociation hysteresis.
+	res := RoamingWalk(cfg, 120, 20)(3).Run(5e6)
+	if res.Roams == 0 {
+		t.Fatal("walker never reassociated")
+	}
+	fs := res.Flows[0]
+	if fs.Delivered == 0 || fs.DropRate() > 0.2 {
+		t.Errorf("walking flow suffered: %+v", fs)
+	}
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import "sync"
+
+// Job is one independent simulation: a scenario builder plus the seed
+// that makes it reproducible. Build must construct a fresh Network on
+// every call — Networks and rng.Sources are single-goroutine objects
+// and must never be shared across jobs.
+type Job struct {
+	Name       string
+	Seed       int64
+	DurationUs float64
+	Build      func(seed int64) *Network
+}
+
+// ScenarioRunner fans jobs across a worker pool. Each worker runs whole
+// jobs, and each job owns every piece of mutable state it touches
+// (engine, nodes, rng.Source), so results are bit-for-bit identical to
+// a serial run regardless of worker count or scheduling.
+type ScenarioRunner struct {
+	// Workers is the pool size; values below 2 run the jobs serially.
+	Workers int
+}
+
+// RunAll executes every job and returns results in job order.
+func (r ScenarioRunner) RunAll(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	if r.Workers < 2 || len(jobs) < 2 {
+		for i, j := range jobs {
+			out[i] = j.Build(j.Seed).Run(j.DurationUs)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := r.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				out[i] = j.Build(j.Seed).Run(j.DurationUs)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// SeedSweep expands one scenario into jobs over seeds baseSeed+1 ..
+// baseSeed+n, the common Monte-Carlo fan-out.
+func SeedSweep(name string, build func(seed int64) *Network, durationUs float64, baseSeed int64, n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Name: name, Seed: baseSeed + int64(i) + 1, DurationUs: durationUs, Build: build}
+	}
+	return jobs
+}
+
+// MeanAggGoodput averages the aggregate goodput across results.
+func MeanAggGoodput(results []Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range results {
+		sum += r.AggGoodputMbps
+	}
+	return sum / float64(len(results))
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scenario presets shared by experiments E22/E23, cmd/netsim, and the
+// benchmarks. Each returns a builder closure so the ScenarioRunner can
+// instantiate one fresh, independently-seeded Network per job.
+
+// DenseGrid lays nBSS APs on a square-ish grid with the given spacing
+// and channel assignment (channels[i%len] for BSS i), surrounds each AP
+// with staPerBSS saturated-uplink stations on a ring, and is the E22
+// dense-deployment workload. With a single channel the whole floor is
+// one collision domain; with three channels it is the classic 1/6/11
+// reuse pattern.
+func DenseGrid(cfg Config, nBSS, staPerBSS int, channels []int, spacingM float64, payloadBytes int) func(seed int64) *Network {
+	return func(seed int64) *Network {
+		n := New(cfg, seed)
+		cols := int(math.Ceil(math.Sqrt(float64(nBSS))))
+		for i := 0; i < nBSS; i++ {
+			x := float64(i%cols) * spacingM
+			y := float64(i/cols) * spacingM
+			b := n.AddAP(fmt.Sprintf("AP%d", i), x, y, channels[i%len(channels)])
+			for s := 0; s < staPerBSS; s++ {
+				// Ring placement with a jittered radius keeps every
+				// station well inside its AP's top-rate range while
+				// making the draw seed-dependent.
+				ang := 2 * math.Pi * float64(s) / float64(staPerBSS)
+				r := 3 + 7*n.Src().Float64()
+				st := n.AddStation(b, fmt.Sprintf("sta%d.%d", i, s),
+					x+r*math.Cos(ang), y+r*math.Sin(ang))
+				n.AddFlow(st, nil, Saturated{PayloadBytes: payloadBytes})
+			}
+		}
+		return n
+	}
+}
+
+// TrafficMix is the E23 workload: one BSS carrying voice-like CBR
+// flows, Poisson data flows whose rate sweeps the offered load, and
+// bursty on/off background. dataMbpsEach is the mean offered load per
+// data flow.
+func TrafficMix(cfg Config, nVoice, nData, nBurst int, dataMbpsEach float64) func(seed int64) *Network {
+	return func(seed int64) *Network {
+		n := New(cfg, seed)
+		b := n.AddAP("AP", 0, 0, 1)
+		add := func(kind string, i int, gen TrafficGen) {
+			ang := n.Src().Float64() * 2 * math.Pi
+			r := 3 + 7*n.Src().Float64()
+			st := n.AddStation(b, fmt.Sprintf("%s%d", kind, i),
+				r*math.Cos(ang), r*math.Sin(ang))
+			n.AddFlow(st, nil, gen)
+		}
+		for i := 0; i < nVoice; i++ {
+			// 160 B every 20 ms ≈ a G.711 voice frame stream.
+			add("voice", i, CBR{PayloadBytes: 160, IntervalUs: 20000})
+		}
+		for i := 0; i < nData; i++ {
+			pktPerSec := dataMbpsEach * 1e6 / (8 * 1200)
+			add("data", i, Poisson{PayloadBytes: 1200, PktPerSec: pktPerSec})
+		}
+		for i := 0; i < nBurst; i++ {
+			add("burst", i, &OnOff{PayloadBytes: 1200, IntervalUs: 2000,
+				OnMeanUs: 50000, OffMeanUs: 200000})
+		}
+		return n
+	}
+}
+
+// HiddenPair places two stations on opposite sides of an AP, far enough
+// apart that they cannot carrier-sense each other but still inside the
+// AP's decode range: the textbook hidden-terminal topology.
+func HiddenPair(cfg Config, separationM float64, payloadBytes int) func(seed int64) *Network {
+	return func(seed int64) *Network {
+		n := New(cfg, seed)
+		b := n.AddAP("AP", 0, 0, 1)
+		a := n.AddStation(b, "staA", -separationM/2, 0)
+		c := n.AddStation(b, "staB", separationM/2, 0)
+		n.AddFlow(a, nil, Saturated{PayloadBytes: payloadBytes})
+		n.AddFlow(c, nil, Saturated{PayloadBytes: payloadBytes})
+		return n
+	}
+}
+
+// RoamingWalk builds two APs on the same channel with one mobile
+// station walking from the first toward the second while streaming CBR
+// uplink — the strongest-signal reassociation demo.
+func RoamingWalk(cfg Config, apDistM, speedMps float64) func(seed int64) *Network {
+	return func(seed int64) *Network {
+		n := New(cfg, seed)
+		b1 := n.AddAP("AP1", 0, 0, 1)
+		n.AddAP("AP2", apDistM, 0, 1)
+		st := n.AddStation(b1, "walker", 5, 0)
+		n.SetVelocity(st, speedMps, 0)
+		n.AddFlow(st, nil, CBR{PayloadBytes: 800, IntervalUs: 4000})
+		return n
+	}
+}

@@ -1,0 +1,76 @@
+package netsim
+
+import "fmt"
+
+// FlowStats is one flow's share of a Result.
+type FlowStats struct {
+	Label string // "sta3→AP cbr"
+	Class string // generator label, for grouping in reports
+
+	Arrivals   int
+	Delivered  int
+	QueueDrops int // lost to a full transmit queue
+	RetryDrops int // abandoned past the MAC retry limit
+
+	GoodputMbps  float64
+	MeanDelayUs  float64 // arrival to end of successful exchange
+	MaxDelayUs   float64
+	JitterUs     float64 // RFC 3550 smoothed delay variation
+}
+
+// DropRate is the fraction of arrivals that never got through.
+func (s FlowStats) DropRate() float64 {
+	if s.Arrivals == 0 {
+		return 0
+	}
+	return float64(s.QueueDrops+s.RetryDrops) / float64(s.Arrivals)
+}
+
+// stats freezes the flow's accumulators into a FlowStats.
+func (f *Flow) stats(durationUs float64) FlowStats {
+	to := "AP"
+	if f.To != nil {
+		to = f.To.Name
+	}
+	s := FlowStats{
+		Label:      fmt.Sprintf("%s→%s %s", f.From.Name, to, f.Gen.Label()),
+		Class:      f.Gen.Label(),
+		Arrivals:   f.arrivals,
+		Delivered:  f.deliveredN,
+		QueueDrops: f.queueDrops,
+		RetryDrops: f.lineDrops,
+		MaxDelayUs: f.maxDelayUs,
+		JitterUs:   f.jitterUs,
+	}
+	s.GoodputMbps = float64(8*f.bytesDelivered) / durationUs
+	if f.deliveredN > 0 {
+		s.MeanDelayUs = f.sumDelayUs / float64(f.deliveredN)
+	}
+	return s
+}
+
+// JainIndex is Jain's fairness index over per-flow shares: 1 when all
+// shares are equal, approaching 1/n under total capture.
+func JainIndex(shares []float64) float64 {
+	if len(shares) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, s := range shares {
+		sum += s
+		sumSq += s * s
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(shares)) * sumSq)
+}
+
+// Goodputs extracts each flow's goodput, the usual JainIndex input.
+func Goodputs(flows []FlowStats) []float64 {
+	out := make([]float64, len(flows))
+	for i, f := range flows {
+		out[i] = f.GoodputMbps
+	}
+	return out
+}

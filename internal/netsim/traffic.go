@@ -1,0 +1,170 @@
+package netsim
+
+import "repro/internal/rng"
+
+// TrafficGen produces a flow's packet arrivals. Implementations are
+// consumed by exactly one Flow (OnOff keeps burst state internally).
+type TrafficGen interface {
+	// Label names the traffic class in results ("cbr", "poisson", ...).
+	Label() string
+	// Bytes is the payload size of every packet the generator emits.
+	Bytes() int
+	// isSaturated marks full-buffer generators: they have no timed
+	// arrivals and are refilled the moment a frame leaves the queue.
+	isSaturated() bool
+	// firstGapUs draws the delay to the first arrival, letting periodic
+	// sources start out of phase with each other.
+	firstGapUs(src *rng.Source) float64
+	// nextGapUs draws the inter-arrival gap after each packet.
+	nextGapUs(src *rng.Source) float64
+}
+
+// Saturated models a full-buffer sender: the queue is topped up after
+// every delivery or drop, so the node contends continuously.
+type Saturated struct{ PayloadBytes int }
+
+func (s Saturated) Label() string                  { return "saturated" }
+func (s Saturated) Bytes() int                     { return s.PayloadBytes }
+func (s Saturated) isSaturated() bool              { return true }
+func (s Saturated) firstGapUs(*rng.Source) float64 { return 0 }
+func (s Saturated) nextGapUs(*rng.Source) float64  { return 0 }
+
+// Poisson emits packets with exponential inter-arrival times at the
+// given mean rate.
+type Poisson struct {
+	PayloadBytes int
+	PktPerSec    float64
+}
+
+func (p Poisson) Label() string     { return "poisson" }
+func (p Poisson) Bytes() int        { return p.PayloadBytes }
+func (p Poisson) isSaturated() bool { return false }
+func (p Poisson) firstGapUs(src *rng.Source) float64 {
+	return src.Exponential(1e6 / p.PktPerSec)
+}
+func (p Poisson) nextGapUs(src *rng.Source) float64 {
+	return src.Exponential(1e6 / p.PktPerSec)
+}
+
+// CBR emits fixed-size packets on a fixed interval, with a random
+// initial phase so co-located CBR flows do not arrive in lockstep.
+type CBR struct {
+	PayloadBytes int
+	IntervalUs   float64
+}
+
+func (c CBR) Label() string                      { return "cbr" }
+func (c CBR) Bytes() int                         { return c.PayloadBytes }
+func (c CBR) isSaturated() bool                  { return false }
+func (c CBR) firstGapUs(src *rng.Source) float64 { return src.Float64() * c.IntervalUs }
+func (c CBR) nextGapUs(*rng.Source) float64      { return c.IntervalUs }
+
+// OnOff is a bursty source: CBR arrivals during exponential on-periods
+// separated by exponential silences. The first burst begins after one
+// off-period.
+type OnOff struct {
+	PayloadBytes int
+	IntervalUs   float64 // packet spacing inside a burst
+	OnMeanUs     float64
+	OffMeanUs    float64
+
+	remainingOnUs float64
+}
+
+func (o *OnOff) Label() string     { return "onoff" }
+func (o *OnOff) Bytes() int        { return o.PayloadBytes }
+func (o *OnOff) isSaturated() bool { return false }
+func (o *OnOff) firstGapUs(src *rng.Source) float64 {
+	gap := src.Exponential(o.OffMeanUs)
+	o.remainingOnUs = src.Exponential(o.OnMeanUs)
+	return gap
+}
+func (o *OnOff) nextGapUs(src *rng.Source) float64 {
+	gap := o.IntervalUs
+	o.remainingOnUs -= gap
+	if o.remainingOnUs <= 0 {
+		gap += src.Exponential(o.OffMeanUs)
+		o.remainingOnUs = src.Exponential(o.OnMeanUs)
+	}
+	return gap
+}
+
+// Flow is one traffic stream from a node to a destination (nil To =
+// the sender's current AP, so uplink flows follow roams).
+type Flow struct {
+	net  *Network
+	From *Node
+	To   *Node
+	Gen  TrafficGen
+
+	arrivals, deliveredN  int
+	queueDrops, lineDrops int
+	bytesDelivered        int
+	sumDelayUs, maxDelayUs float64
+	jitterUs              float64 // RFC 3550 smoothed interarrival jitter
+	lastDelayUs           float64
+	hasLast               bool
+	saturated             bool
+}
+
+// dest resolves the flow's receiver at transmit time.
+func (f *Flow) dest() *Node {
+	if f.To != nil {
+		return f.To
+	}
+	return f.From.bss.AP
+}
+
+// start seeds the arrival process.
+func (f *Flow) start() {
+	if f.Gen.isSaturated() {
+		f.saturated = true
+		f.arrive()
+		return
+	}
+	f.net.eng.Schedule(f.Gen.firstGapUs(f.net.src), f.arrive)
+}
+
+// arrive enqueues one packet and, for timed generators, schedules the
+// next arrival.
+func (f *Flow) arrive() {
+	f.arrivals++
+	p := &packet{flow: f, bytes: f.Gen.Bytes(), arrivalUs: f.net.eng.Now()}
+	if !f.From.enqueue(p) {
+		f.queueDrops++
+	}
+	if f.saturated {
+		return
+	}
+	f.net.eng.Schedule(f.Gen.nextGapUs(f.net.src), f.arrive)
+}
+
+// delivered records a successful frame and refills saturated flows.
+func (f *Flow) delivered(p *packet, nowUs float64) {
+	f.deliveredN++
+	f.bytesDelivered += p.bytes
+	d := nowUs - p.arrivalUs
+	f.sumDelayUs += d
+	if d > f.maxDelayUs {
+		f.maxDelayUs = d
+	}
+	if f.hasLast {
+		diff := d - f.lastDelayUs
+		if diff < 0 {
+			diff = -diff
+		}
+		f.jitterUs += (diff - f.jitterUs) / 16
+	}
+	f.lastDelayUs, f.hasLast = d, true
+	if f.saturated {
+		f.arrive()
+	}
+}
+
+// dropped records a retry-limit drop and refills saturated flows.
+func (f *Flow) dropped() {
+	f.lineDrops++
+	if f.saturated {
+		f.arrive()
+	}
+}

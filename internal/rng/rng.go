@@ -5,6 +5,15 @@
 //
 // Every simulation object takes a *Source seeded explicitly so that
 // experiments are exactly reproducible run to run.
+//
+// Concurrency contract: a Source is NOT goroutine-safe — its methods
+// mutate the underlying generator state without locking, and sharing
+// one across goroutines both races and destroys reproducibility (the
+// interleaving, not the seed, would decide the stream). Parallel code
+// must give every goroutine its own Source: either New(seed) with a
+// distinct seed per worker job (what netsim.ScenarioRunner does) or
+// Split() from a parent in a deterministic order before the goroutines
+// start.
 package rng
 
 import (
@@ -13,8 +22,8 @@ import (
 )
 
 // Source wraps math/rand with the distributions the PHY and channel
-// models need. It is not safe for concurrent use; give each goroutine its
-// own Source (see Split).
+// models need. It is not safe for concurrent use; give each goroutine
+// its own Source via New or Split (see the package comment).
 type Source struct {
 	r *rand.Rand
 }

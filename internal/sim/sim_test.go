@@ -113,3 +113,53 @@ func TestNegativeDelayPanics(t *testing.T) {
 	}()
 	e.Schedule(-1, func() {})
 }
+
+func TestRunBoundaryInclusive(t *testing.T) {
+	var e Engine
+	fired := false
+	e.Schedule(10, func() { fired = true })
+	e.Run(10)
+	if !fired {
+		t.Error("event scheduled exactly at until did not fire")
+	}
+}
+
+func TestCancelAfterFireIsHarmless(t *testing.T) {
+	var e Engine
+	count := 0
+	ev := e.Schedule(1, func() { count++ })
+	e.Run(5)
+	ev.Cancel() // already popped and fired; must be a no-op
+	e.Run(10)
+	if count != 1 {
+		t.Errorf("event fired %d times", count)
+	}
+}
+
+func TestCancelSameTimestampFromEarlierEvent(t *testing.T) {
+	var e Engine
+	fired := false
+	var victim *Event
+	e.Schedule(5, func() { victim.Cancel() })
+	victim = e.Schedule(5, func() { fired = true })
+	e.Run(10)
+	if fired {
+		t.Error("event cancelled by a same-timestamp predecessor still fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestCancelBeforeAnyPop(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.Schedule(3, func() { fired = true })
+	keep := 0
+	e.Schedule(1, func() { keep++ })
+	ev.Cancel()
+	e.Run(10)
+	if fired || keep != 1 {
+		t.Errorf("fired=%v keep=%d after pre-pop cancel", fired, keep)
+	}
+}
