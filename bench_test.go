@@ -65,3 +65,4 @@ func BenchmarkE21Coexistence(b *testing.B)    { benchExperiment(b, "E21") }
 // interference crossing, SINR judgment).
 func BenchmarkE22NetSim(b *testing.B)     { benchExperiment(b, "E22") }
 func BenchmarkE23TrafficMix(b *testing.B) { benchExperiment(b, "E23") }
+func BenchmarkE24RtsCtsArf(b *testing.B)  { benchExperiment(b, "E24") }

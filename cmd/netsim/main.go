@@ -7,7 +7,8 @@
 //	netsim -scenario dense -channels 1,6,11 -seeds 8 -workers 4
 //	netsim -scenario mix -data-mbps 4
 //	netsim -scenario hidden
-//	netsim -scenario roam
+//	netsim -scenario hidden -rts 1     # RTS/CTS + NAV rescue
+//	netsim -scenario roam -arf         # per-frame rate fallback
 //	netsim -scenario dense -compare   # serial vs parallel wall-clock
 package main
 
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/mac"
 	"repro/internal/netsim"
 	"repro/internal/report"
 )
@@ -34,6 +36,8 @@ func main() {
 	seeds := flag.Int("seeds", 1, "number of independent seeds")
 	workers := flag.Int("workers", 4, "worker pool size")
 	dataMbps := flag.Float64("data-mbps", 2, "offered load per data flow (mix)")
+	rts := flag.Int("rts", 0, "RTS/CTS threshold in payload bytes (1 = every frame, 0 = off)")
+	arf := flag.Bool("arf", false, "per-frame ARF rate adaptation instead of association-time mode selection")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	compare := flag.Bool("compare", false, "time the seed sweep serially and with the worker pool")
 	flag.Parse()
@@ -53,6 +57,11 @@ func main() {
 	}
 
 	cfg := netsim.DefaultConfig()
+	cfg.RtsThresholdBytes = *rts
+	if *arf {
+		a := mac.DefaultArf()
+		cfg.Arf = &a
+	}
 	var build func(seed int64) *netsim.Network
 	switch *scenario {
 	case "dense":
@@ -99,12 +108,12 @@ func main() {
 	agg := report.Table{
 		ID:     "netsim",
 		Title:  fmt.Sprintf("%s: %d seed(s), %.2f s virtual each (wall %v)", *scenario, *seeds, *durationS, wall.Round(time.Millisecond)),
-		Header: []string{"seed", "agg Mbps", "delivered", "attempts", "collisions", "retry drops", "queue drops", "roams", "airtime", "Jain"},
+		Header: []string{"seed", "agg Mbps", "delivered", "attempts", "collisions", "rts", "rts fail", "retry drops", "queue drops", "roams", "airtime", "Jain"},
 	}
 	for i, r := range results {
 		agg.AddRow(int(jobs[i].Seed), r.AggGoodputMbps, r.Delivered, r.Attempts,
-			r.Collisions, r.RetryDrops, r.QueueDrops, r.Roams, r.AirtimeFrac,
-			netsim.JainIndex(netsim.Goodputs(r.Flows)))
+			r.Collisions, r.RtsAttempts, r.RtsFailures, r.RetryDrops, r.QueueDrops,
+			r.Roams, r.AirtimeFrac, netsim.JainIndex(netsim.Goodputs(r.Flows)))
 	}
 	flows := report.Table{
 		ID:     "flows",

@@ -1,4 +1,4 @@
-// Package experiments contains one runner per reproduced exhibit E1-E23.
+// Package experiments contains one runner per reproduced exhibit E1-E24.
 // The paper (a survey) prints no numbered tables or figures; each runner
 // regenerates one of its quantitative claims as a table, with the claim
 // quoted in the table note. EXPERIMENTS.md records paper-vs-measured.
@@ -60,6 +60,7 @@ func All() []Runner {
 		{"E21", "FHSS coexistence: fair and equal access", E21Coexistence},
 		{"E22", "Dense multi-BSS capacity: co-channel vs channel reuse (netsim)", E22DenseBSS},
 		{"E23", "Traffic-mix delay and fairness under contention (netsim)", E23TrafficMix},
+		{"E24", "Hidden-terminal RTS/CTS + NAV rescue and per-frame ARF (netsim)", E24RtsCtsHidden},
 	}
 }
 

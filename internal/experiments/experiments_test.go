@@ -322,3 +322,28 @@ func TestE23VoiceDelayGrowsWithLoad(t *testing.T) {
 		t.Errorf("light data load delivered only %v Mbps", got)
 	}
 }
+
+func TestE24RtsRecoveryAndArfStaircase(t *testing.T) {
+	tables := E24RtsCtsHidden(Quick())
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// Both models must show RTS/CTS recovering hidden-pair goodput and
+	// cutting the collision rate.
+	for _, row := range tables[0].Rows {
+		plain, rts := parse(t, row[1]), parse(t, row[2])
+		if rts <= plain {
+			t.Errorf("%s: RTS goodput %v not above plain %v", row[0], rts, plain)
+		}
+		if pc, rc := parse(t, row[4]), parse(t, row[5]); rc >= pc {
+			t.Errorf("%s: RTS collision rate %v not below plain %v", row[0], rc, pc)
+		}
+	}
+	// The ARF attempt histogram must shift to lower rates with distance.
+	stairs := tables[1].Rows
+	near := parse(t, stairs[0][2])
+	far := parse(t, stairs[len(stairs)-1][2])
+	if far >= near {
+		t.Errorf("mean attempted rate far %v not below near %v", far, near)
+	}
+}

@@ -7,8 +7,10 @@ import (
 
 // ARF (automatic rate fallback) is the classic 802.11 rate-adaptation
 // rule: step the rate up after a run of consecutive successes, step it
-// down after consecutive failures. Combined with the link model's
-// PER-vs-SNR curves it reproduces the rate-vs-range staircase.
+// down after consecutive failures, and — the rule that makes the probe
+// cheap — fall straight back when the first frame after an up-shift
+// fails. Combined with the link model's PER-vs-SNR curves it reproduces
+// the rate-vs-range staircase.
 
 // ArfConfig tunes the adaptation thresholds.
 type ArfConfig struct {
@@ -18,6 +20,73 @@ type ArfConfig struct {
 
 // DefaultArf matches the original Lucent WaveLAN-II parameters.
 func DefaultArf() ArfConfig { return ArfConfig{UpAfter: 10, DownAfter: 2} }
+
+// ArfController is the per-link ARF state machine, separated from the
+// closed-form RunArf loop so packet-level simulators (internal/netsim)
+// can own one per destination and feed it every frame outcome.
+type ArfController struct {
+	cfg    ArfConfig
+	nModes int
+	idx    int
+	// probing marks the first frame after an up-shift: original ARF
+	// drops back on a single failure there, without waiting for
+	// DownAfter consecutive losses.
+	probing          bool
+	succRun, failRun int
+}
+
+// NewArfController starts the controller at startIdx within a rate
+// table of nModes entries (startIdx is clamped into range).
+func NewArfController(cfg ArfConfig, nModes, startIdx int) *ArfController {
+	if nModes <= 0 {
+		panic("mac: ArfController needs at least one mode")
+	}
+	if startIdx < 0 {
+		startIdx = 0
+	}
+	if startIdx >= nModes {
+		startIdx = nModes - 1
+	}
+	return &ArfController{cfg: cfg, nModes: nModes, idx: startIdx}
+}
+
+// ModeIndex is the rate-table index the next frame should use.
+func (a *ArfController) ModeIndex() int { return a.idx }
+
+// Probing reports whether the next frame is the first after an up-shift.
+func (a *ArfController) Probing() bool { return a.probing }
+
+// OnSuccess records a delivered frame at the current rate.
+func (a *ArfController) OnSuccess() {
+	a.probing = false
+	a.failRun = 0
+	a.succRun++
+	if a.succRun >= a.cfg.UpAfter && a.idx < a.nModes-1 {
+		a.idx++
+		a.succRun = 0
+		a.probing = true
+	}
+}
+
+// OnFailure records a lost frame at the current rate. A failed probe
+// (first frame after an up-shift) falls back immediately; otherwise
+// DownAfter consecutive failures trigger the fallback.
+func (a *ArfController) OnFailure() {
+	a.succRun = 0
+	if a.probing {
+		a.probing = false
+		a.failRun = 0
+		if a.idx > 0 {
+			a.idx--
+		}
+		return
+	}
+	a.failRun++
+	if a.failRun >= a.cfg.DownAfter && a.idx > 0 {
+		a.idx--
+		a.failRun = 0
+	}
+}
 
 // ArfResult reports the outcome of an adaptation run.
 type ArfResult struct {
@@ -29,42 +98,32 @@ type ArfResult struct {
 }
 
 // RunArf sends nFrames over a link with the given mean SNR (fading or
-// AWGN per the flag), adapting across the mode set.
+// AWGN per the flag), adapting across the mode set through an
+// ArfController.
 func RunArf(cfg ArfConfig, modes []linkmodel.Mode, meanSnrDB float64, fading bool, nFrames, payloadBytes int, src *rng.Source) ArfResult {
 	if len(modes) == 0 {
 		panic("mac: no modes")
 	}
-	idx := 0
-	succRun, failRun := 0, 0
+	ctl := NewArfController(cfg, len(modes), 0)
 	res := ArfResult{ModeHistogram: map[string]int{}}
 	var airtimeUs, deliveredBits float64
 	for f := 0; f < nFrames; f++ {
-		m := modes[idx]
+		m := modes[ctl.ModeIndex()]
 		res.ModeHistogram[m.Name]++
 		res.FramesSent++
 		airtimeUs += float64(8*payloadBytes)/m.RateMbps + 20 // PLCP overhead
 		per := m.PER(meanSnrDB, fading)
 		if src.Float64() < per {
-			failRun++
-			succRun = 0
-			if failRun >= cfg.DownAfter && idx > 0 {
-				idx--
-				failRun = 0
-			}
+			ctl.OnFailure()
 			continue
 		}
 		res.FramesOK++
 		deliveredBits += float64(8 * payloadBytes)
-		succRun++
-		failRun = 0
-		if succRun >= cfg.UpAfter && idx < len(modes)-1 {
-			idx++
-			succRun = 0
-		}
+		ctl.OnSuccess()
 	}
 	if airtimeUs > 0 {
 		res.GoodputMbps = deliveredBits / airtimeUs
 	}
-	res.FinalMode = modes[idx]
+	res.FinalMode = modes[ctl.ModeIndex()]
 	return res
 }

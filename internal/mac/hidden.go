@@ -97,6 +97,12 @@ func RunHiddenTerminal(cfg HiddenConfig, durationUs float64, src *rng.Source) Hi
 		sta[i].reschedule(cfg.Dcf, 0, src)
 	}
 
+	// busyUntil is when the AP's receiver frees up from the exchange (or
+	// collision) currently playing out. It is carried across iterations:
+	// a deferred peer's reschedule can land before the first station's
+	// exchange ends, and that frame must still find the AP busy rather
+	// than being judged against a fresh channel.
+	busyUntil := 0.0
 	for {
 		// The earlier starter transmits first.
 		first, second := 0, 1
@@ -106,6 +112,27 @@ func RunHiddenTerminal(cfg HiddenConfig, durationUs float64, src *rng.Source) Hi
 		start := sta[first].nextStart
 		if start > durationUs {
 			break
+		}
+		if start < busyUntil {
+			if cfg.RtsCts {
+				// The AP's CTS set this station's NAV: it defers to the
+				// end of the reservation, losing nothing.
+				sta[first].reschedule(cfg.Dcf, busyUntil, src)
+			} else {
+				// The frame airs while the AP is still mid-exchange; it
+				// is lost (the AP cannot receive), and it keeps jamming
+				// the AP until it ends — possibly past the current
+				// horizon, so the horizon advances with it.
+				res.Attempts++
+				if sta[first].fail(cfg.Dcf) {
+					res.Dropped++
+				}
+				if e := start + dataUs; e > busyUntil {
+					busyUntil = e
+				}
+				sta[first].reschedule(cfg.Dcf, start+dataUs, src)
+			}
+			continue
 		}
 		res.Attempts++
 		if sta[second].nextStart < start+vulnerableUs {
@@ -130,27 +157,17 @@ func RunHiddenTerminal(cfg HiddenConfig, durationUs float64, src *rng.Source) Hi
 				}
 				sta[i].reschedule(cfg.Dcf, end, src)
 			}
+			busyUntil = end
 			continue
 		}
-		// Clean start: the exchange completes for the first station.
+		// Clean start: the exchange completes for the first station. The
+		// peer, if it fires before the exchange ends, hits the busy-AP
+		// horizon at the top of the next iteration.
 		end := start + exchangeUs
+		busyUntil = end
 		res.Delivered++
 		sta[first].succeed(cfg.Dcf)
 		sta[first].reschedule(cfg.Dcf, end, src)
-		if sta[second].nextStart < end {
-			if cfg.RtsCts {
-				// The AP's CTS set the peer's NAV: it defers, losing nothing.
-				sta[second].reschedule(cfg.Dcf, end, src)
-			} else {
-				// The peer fires while the AP is still busy finishing the
-				// exchange; its frame is lost (the AP cannot receive).
-				res.Attempts++
-				if sta[second].fail(cfg.Dcf) {
-					res.Dropped++
-				}
-				sta[second].reschedule(cfg.Dcf, sta[second].nextStart+dataUs, src)
-			}
-		}
 	}
 
 	res.GoodputMbps = float64(res.Delivered*8*cfg.PayloadBytes) / durationUs

@@ -258,3 +258,109 @@ func TestCamMultiChainCostsMore(t *testing.T) {
 		t.Errorf("4-chain CAM energy %v not above single-chain listen %v", four.EnergyJ, one.EnergyJ)
 	}
 }
+
+// runArfLegacy reimplements the pre-fix ARF loop (no probe-failure
+// rule: even the first frame after an up-shift needs DownAfter
+// consecutive failures to fall back) as the baseline for the
+// regression test below.
+func runArfLegacy(cfg ArfConfig, modes []linkmodel.Mode, meanSnrDB float64, nFrames, payloadBytes int, src *rng.Source) float64 {
+	idx, succRun, failRun := 0, 0, 0
+	var airtimeUs, deliveredBits float64
+	for f := 0; f < nFrames; f++ {
+		m := modes[idx]
+		airtimeUs += float64(8*payloadBytes)/m.RateMbps + 20
+		if src.Float64() < m.PER(meanSnrDB, false) {
+			failRun++
+			succRun = 0
+			if failRun >= cfg.DownAfter && idx > 0 {
+				idx--
+				failRun = 0
+			}
+			continue
+		}
+		deliveredBits += float64(8 * payloadBytes)
+		succRun++
+		failRun = 0
+		if succRun >= cfg.UpAfter && idx < len(modes)-1 {
+			idx++
+			succRun = 0
+		}
+	}
+	return deliveredBits / airtimeUs
+}
+
+func TestArfProbeFailureFallsBackImmediately(t *testing.T) {
+	cfg := DefaultArf()
+	ctl := NewArfController(cfg, 8, 3)
+	for i := 0; i < cfg.UpAfter; i++ {
+		ctl.OnSuccess()
+	}
+	if ctl.ModeIndex() != 4 || !ctl.Probing() {
+		t.Fatalf("after %d successes: idx %d probing %v, want 4/true",
+			cfg.UpAfter, ctl.ModeIndex(), ctl.Probing())
+	}
+	// One failed probe drops straight back, without waiting DownAfter.
+	ctl.OnFailure()
+	if ctl.ModeIndex() != 3 || ctl.Probing() {
+		t.Errorf("failed probe left idx %d probing %v, want 3/false", ctl.ModeIndex(), ctl.Probing())
+	}
+	// Off probe, a single failure must NOT fall back; DownAfter must.
+	ctl.OnFailure()
+	if ctl.ModeIndex() != 3 {
+		t.Errorf("single non-probe failure moved idx to %d", ctl.ModeIndex())
+	}
+	ctl.OnFailure()
+	if ctl.ModeIndex() != 2 {
+		t.Errorf("%d consecutive failures left idx %d, want 2", cfg.DownAfter, ctl.ModeIndex())
+	}
+}
+
+func TestArfProbeRuleImprovesGoodputNearWaterfall(t *testing.T) {
+	// 8 dB sits just above the 18 Mbps threshold (~7.6 dB) and far below
+	// 24 Mbps (~9.8 dB): up-probes fail ~80% of the time. Immediate
+	// probe fallback wastes one frame per excursion where the legacy
+	// rule burned DownAfter, so goodput improves.
+	src := rng.New(30)
+	modes := linkmodel.OfdmModes()
+	const snr, frames = 8.0, 20000
+	fixed := RunArf(DefaultArf(), modes, snr, false, frames, 1500, src.Split())
+	legacy := runArfLegacy(DefaultArf(), modes, snr, frames, 1500, src.Split())
+	if fixed.GoodputMbps <= legacy {
+		t.Errorf("probe-fallback goodput %.3f not above legacy %.3f",
+			fixed.GoodputMbps, legacy)
+	}
+	// With the rule, each excursion above the waterfall lasts a single
+	// probe frame, so the failing mode gets a small share of attempts.
+	hi := fixed.ModeHistogram["OFDM 24 Mbps"]
+	if hi > frames/5 {
+		t.Errorf("%d/%d attempts burned at the failing rate", hi, frames)
+	}
+}
+
+func TestHiddenBusyHorizonSerializesDeliveries(t *testing.T) {
+	// Regression: the deferred peer used to be rescheduled from
+	// nextStart+dataUs, which with a short data frame and a long ACK
+	// window lands inside the first station's exchange; the next
+	// iteration then judged the peer's frame clean while the AP was
+	// still mid-exchange, delivering overlapping exchanges. The AP can
+	// serve at most one exchange at a time, so delivered exchanges must
+	// fit the run duration end to end.
+	cfg := HiddenConfig{
+		Dcf: DcfConfig{SlotUs: 9, SIFSUs: 16, DIFSUs: 10, CWMin: 31, CWMax: 63,
+			AckUs: 1000, PlcpUs: 4, RetryLimit: 7},
+		RateMbps:     54,
+		PayloadBytes: 50,
+	}
+	const durationUs = 1e6
+	res := RunHiddenTerminal(cfg, durationUs, rng.New(31))
+	dataUs := cfg.Dcf.PlcpUs + float64(8*cfg.PayloadBytes)/cfg.RateMbps
+	exchangeUs := dataUs + cfg.Dcf.SIFSUs + cfg.Dcf.AckUs
+	maxDeliveries := int(durationUs/exchangeUs) + 1
+	if res.Delivered > maxDeliveries {
+		t.Errorf("%d deliveries but only %d serialized exchanges fit %v us",
+			res.Delivered, maxDeliveries, durationUs)
+	}
+	if res.Delivered == 0 {
+		t.Error("no deliveries at all")
+	}
+}

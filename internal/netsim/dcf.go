@@ -1,13 +1,30 @@
 package netsim
 
+import (
+	"repro/internal/linkmodel"
+	"repro/internal/mac"
+)
+
 // Event-driven DCF, one state machine per node. A node is idle (empty
 // queue), contending (a backoff is counting down, frozen whenever the
-// medium is sensed busy), or transmitting. The countdown is realised as
-// a single scheduled event at DIFS + slots·slotTime; carrier sense
-// cancels it and banks the slots already elapsed, idle restores it.
-// Two nodes whose countdowns expire in the same slot both transmit —
-// the pause path detects a zero remainder and fires immediately — which
-// is exactly how DCF collides.
+// medium is sensed busy or the NAV is set), or transmitting. The
+// countdown is realised as a single scheduled event at
+// DIFS + slots·slotTime; carrier sense cancels it and banks the slots
+// already elapsed, idle restores it. Two nodes whose countdowns expire
+// in the same slot both transmit — the pause path detects a zero
+// remainder and fires immediately — which is exactly how DCF collides.
+//
+// A winning node runs one of two exchanges:
+//
+//	data+ACK                         (payload below the RTS threshold)
+//	RTS — SIFS — CTS — SIFS — data+ACK  (at or above it)
+//
+// Only the RTS and the data frame are judged by SINR; the CTS is
+// assumed decodable because the RTS just proved the reverse link. Both
+// control frames advertise the remaining exchange duration, and every
+// node that senses them raises its NAV for that long — so a station
+// hidden from the data sender but in range of the receiver defers off
+// the receiver's CTS, which is the whole point of the exchange.
 
 // slotEps absorbs float accumulation when dividing elapsed time into
 // whole slots.
@@ -28,17 +45,32 @@ func (nd *Node) enqueue(p *packet) bool {
 }
 
 // startContention draws a fresh backoff from the current window and
-// arms the countdown (deferred while the medium is busy).
+// arms the countdown (deferred while the medium is busy or reserved).
 func (nd *Node) startContention() {
 	nd.backoffSlots = nd.net.src.Intn(nd.cw + 1)
 	nd.contending = true
 	nd.tryResume()
 }
 
-// tryResume arms the countdown event when the medium is idle. The event
-// fires after a full DIFS plus the remaining backoff slots.
+// recontend restarts contention for the next queued frame unless a
+// refill already did (a saturated flow's refill may have restarted it
+// from inside enqueue; don't redraw its backoff).
+func (nd *Node) recontend() {
+	if len(nd.queue) > 0 && !nd.contending {
+		nd.startContention()
+	}
+}
+
+// tryResume arms the countdown event when the medium is physically idle
+// and the NAV has expired. The event fires after a full DIFS plus the
+// remaining backoff slots.
 func (nd *Node) tryResume() {
 	if !nd.contending || nd.transmitting || nd.busyCount > 0 || nd.boEvent != nil {
+		return
+	}
+	if nd.navUntilUs > nd.net.eng.Now()+slotEps {
+		// Virtual carrier sense: the navEvent armed by setNav re-enters
+		// here when the reservation lapses.
 		return
 	}
 	d := nd.net.cfg.Dcf
@@ -62,7 +94,7 @@ func (nd *Node) pause() {
 }
 
 // freezeBackoff banks elapsed slots without the collide-on-zero rule;
-// roaming uses it so a scan never launches a transmission.
+// roaming and NAV-setting use it so neither launches a transmission.
 func (nd *Node) freezeBackoff() {
 	if nd.boEvent == nil {
 		return
@@ -70,6 +102,51 @@ func (nd *Node) freezeBackoff() {
 	nd.boEvent.Cancel()
 	nd.boEvent = nil
 	nd.bankElapsedSlots()
+}
+
+// setNav extends the node's NAV to untilUs — virtual carrier sense from
+// a decoded RTS or CTS duration field. The countdown freezes without
+// the collide-on-zero rule (the station decoded the reservation, so it
+// defers cleanly) and a wake event re-arms contention at expiry. The
+// NAV only grows here (an earlier reservation inside a longer one is
+// absorbed); shrinkNav handles the standard's RTS NAV-reset rule. It
+// reports whether the NAV was raised to exactly untilUs, so the caller
+// can record adopters for a possible reset.
+func (nd *Node) setNav(untilUs float64) bool {
+	now := nd.net.eng.Now()
+	if untilUs <= nd.navUntilUs || untilUs <= now {
+		return false
+	}
+	nd.freezeBackoff()
+	nd.navUntilUs = untilUs
+	nd.armNavEvent(untilUs)
+	return true
+}
+
+// shrinkNav cuts the node's NAV short, releasing contention at untilUs
+// (or immediately if that is already past). Used when an RTS-advertised
+// reservation dies: 802.11's NAV-reset rule frees stations that set
+// their NAV from an RTS whose exchange never materialised.
+func (nd *Node) shrinkNav(untilUs float64) {
+	if untilUs >= nd.navUntilUs {
+		return
+	}
+	if untilUs < nd.net.eng.Now() {
+		untilUs = nd.net.eng.Now()
+	}
+	nd.navUntilUs = untilUs
+	nd.armNavEvent(untilUs)
+	nd.tryResume()
+}
+
+func (nd *Node) armNavEvent(untilUs float64) {
+	if nd.navEvent != nil {
+		nd.navEvent.Cancel()
+	}
+	nd.navEvent = nd.net.eng.At(untilUs, func() {
+		nd.navEvent = nil
+		nd.tryResume()
+	})
 }
 
 // bankElapsedSlots subtracts the whole slots that elapsed since the
@@ -88,54 +165,210 @@ func (nd *Node) bankElapsedSlots() bool {
 	return true
 }
 
-// transmit puts the head-of-line frame on the air for its full
-// data+ACK exchange and schedules the outcome.
+// dataMode picks the rate for the head-of-line frame: the per-frame ARF
+// controller when rate adaptation is on, otherwise the memoized
+// median-SNR table lookup.
+func (nd *Node) dataMode(rx *Node) linkmodel.Mode {
+	if nd.net.cfg.Arf == nil {
+		return nd.net.linkMode(nd, rx)
+	}
+	return nd.net.cfg.Modes[nd.arfFor(rx).ModeIndex()]
+}
+
+// arfFor returns the node's rate controller toward rx, seeding a new
+// one from the median-SNR selection on first use (a roam to a new AP
+// therefore starts from a sensible rate rather than the table bottom).
+func (nd *Node) arfFor(rx *Node) *mac.ArfController {
+	if nd.arf == nil {
+		nd.arf = make(map[int]*mac.ArfController)
+	}
+	c := nd.arf[rx.id]
+	if c == nil {
+		start := nd.net.modeIndex(nd.net.linkMode(nd, rx))
+		c = mac.NewArfController(*nd.net.cfg.Arf, len(nd.net.cfg.Modes), start)
+		nd.arf[rx.id] = c
+	}
+	return c
+}
+
+// transmit opens the exchange for the head-of-line frame: straight to
+// the data frame, or through RTS/CTS at or above the threshold.
 func (nd *Node) transmit() {
 	nd.boEvent = nil
 	nd.contending = false
 	nd.transmitting = true
 	pkt := nd.queue[0]
 	rx := pkt.flow.dest()
-	mode := nd.net.linkMode(nd, rx)
-	tr := &transmission{tx: nd, rx: rx, pkt: pkt, mode: mode, startUs: nd.net.eng.Now()}
-	nd.med.start(tr)
+	mode := nd.dataMode(rx)
 	nd.net.attempts++
-	nd.net.eng.Schedule(nd.net.airtimeUs(mode, pkt.bytes), func() { nd.complete(tr) })
+	if nd.net.useRts(pkt) {
+		nd.sendRts(pkt, rx, mode)
+		return
+	}
+	nd.sendData(pkt, rx, mode)
 }
 
-// complete ends the exchange: judge the frame, update windows and
-// stats, and contend for the next queued frame.
+// sendRts puts the short RTS on the air. Its SINR — not the data
+// frame's — decides whether the exchange continues, so a hidden-node
+// overlap costs plcp+RTS of airtime. The advertised NAV covers the
+// rest of the exchange at the data mode chosen for this attempt.
+func (nd *Node) sendRts(pkt *packet, rx *Node, dataMode linkmodel.Mode) {
+	net := nd.net
+	d := net.cfg.Dcf
+	net.rtsSent++
+	nav := net.eng.Now() + net.rtsAirUs() + d.SIFSUs + net.ctsAirUs() +
+		d.SIFSUs + net.airtimeUs(dataMode, pkt.bytes)
+	tr := &transmission{kind: frameRts, tx: nd, rx: rx, pkt: pkt,
+		mode: net.robustMode(), navUntilUs: nav, startUs: net.eng.Now()}
+	nd.med.start(tr)
+	net.eng.Schedule(net.rtsAirUs(), func() { nd.completeRts(tr, dataMode) })
+}
+
+// completeRts judges the RTS. Success draws the receiver's CTS a SIFS
+// later; failure (no CTS timeout in the real protocol) takes the shared
+// retry path without having burned the data frame's airtime.
+func (nd *Node) completeRts(tr *transmission, dataMode linkmodel.Mode) {
+	nd.med.finish(tr)
+	net := nd.net
+	if !nd.med.succeeds(tr) {
+		net.rtsFailed++
+		nd.releaseNav(tr)
+		nd.fail(tr)
+		return
+	}
+	rx := tr.rx
+	net.eng.Schedule(net.cfg.Dcf.SIFSUs, func() { rx.sendCts(tr, dataMode) })
+}
+
+// releaseNav invokes 802.11's NAV-reset rule for a dead RTS
+// reservation: stations that set their NAV from an RTS may release it
+// when no exchange follows within 2·SIFS + CTS + 2·slots of the RTS
+// end. Only adopters still holding exactly this reservation shrink —
+// a NAV raised further by another frame stays.
+func (nd *Node) releaseNav(rts *transmission) {
+	d := nd.net.cfg.Dcf
+	resetAt := rts.startUs + nd.net.rtsAirUs() + 2*d.SIFSUs + nd.net.ctsAirUs() + 2*d.SlotUs
+	for _, adopter := range rts.navAdopters {
+		if adopter.navUntilUs == rts.navUntilUs {
+			adopter.shrinkNav(resetAt)
+		}
+	}
+}
+
+// sendCts answers a successful RTS from the receiver's side. The CTS
+// rides the medium like any frame — raising carrier sense and
+// interfering at other receivers — but is not itself judged: the RTS
+// just proved the link. Crucially its NAV reaches stations hidden from
+// the data sender but in range of the receiver, which is what rescues
+// the hidden-terminal topology.
+func (nd *Node) sendCts(rts *transmission, dataMode linkmodel.Mode) {
+	net := nd.net
+	d := net.cfg.Dcf
+	peer := rts.tx
+	if nd.transmitting || nd.med != peer.med ||
+		nd.navUntilUs > net.eng.Now()+slotEps {
+		// No CTS comes back: the receiver launched its own frame in the
+		// SIFS gap (it decoded the RTS without being able to
+		// carrier-sense it, so its countdown never paused), is mid-reply
+		// to another captured RTS, a roam scan landing in the gap moved
+		// it to another channel, or its own NAV marks the medium
+		// reserved for a different exchange (802.11: respond with CTS
+		// only if the NAV indicates idle). The sender retries on what
+		// the real protocol calls a CTS timeout; the loss is a busy
+		// receiver, not a channel error, so mark it doomed to keep it
+		// out of the noise-loss column.
+		rts.doomed = true
+		net.rtsFailed++
+		peer.releaseNav(rts)
+		peer.fail(rts)
+		return
+	}
+	// A countdown armed since the RTS ended cannot have fired yet
+	// (SIFS < DIFS); freeze it for the reply.
+	nd.freezeBackoff()
+	nd.transmitting = true
+	nav := net.eng.Now() + net.ctsAirUs() + d.SIFSUs + net.airtimeUs(dataMode, rts.pkt.bytes)
+	tr := &transmission{kind: frameCts, tx: nd, rx: peer, pkt: rts.pkt,
+		mode: net.robustMode(), navUntilUs: nav, startUs: net.eng.Now()}
+	nd.med.start(tr)
+	net.eng.Schedule(net.ctsAirUs(), func() {
+		nd.med.finish(tr)
+		nd.transmitting = false
+		// Honor the reservation this CTS just granted: the responder's
+		// own contention holds until the exchange it solicited ends.
+		// Physical carrier sense cannot be relied on here — the data
+		// sender may sit below the responder's energy-detect threshold
+		// (decode-only range), and a backoff firing mid-data would doom
+		// the very frame the CTS invited.
+		nd.setNav(nav)
+		// A packet that arrived while the CTS was on the air found the
+		// node transmitting and skipped startContention; pick it up now.
+		// The countdown sendCts froze resumes via tryResume at NAV end.
+		nd.recontend()
+		nd.tryResume()
+		net.eng.Schedule(d.SIFSUs, func() { peer.sendData(rts.pkt, nd, dataMode) })
+	})
+}
+
+// sendData puts the data frame on the air for its data+ACK exchange and
+// schedules the outcome.
+func (nd *Node) sendData(pkt *packet, rx *Node, mode linkmodel.Mode) {
+	net := nd.net
+	net.modeAttempts[mode.Name]++
+	tr := &transmission{kind: frameData, tx: nd, rx: rx, pkt: pkt, mode: mode,
+		startUs: net.eng.Now()}
+	nd.med.start(tr)
+	net.eng.Schedule(net.airtimeUs(mode, pkt.bytes), func() { nd.complete(tr) })
+}
+
+// complete ends the data exchange: judge the frame, update the ARF
+// controller and windows, and contend for the next queued frame.
 func (nd *Node) complete(tr *transmission) {
 	nd.med.finish(tr)
-	nd.transmitting = false
 	net := nd.net
-	if nd.med.succeeds(tr) {
-		net.delivered++
+	if !nd.med.succeeds(tr) {
+		if net.cfg.Arf != nil {
+			nd.arfFor(tr.rx).OnFailure()
+		}
+		nd.fail(tr)
+		return
+	}
+	nd.transmitting = false
+	net.delivered++
+	nd.queue = nd.queue[1:]
+	nd.cw = net.cfg.Dcf.CWMin
+	nd.retries = 0
+	if net.cfg.Arf != nil {
+		nd.arfFor(tr.rx).OnSuccess()
+	}
+	tr.pkt.flow.delivered(tr.pkt, net.eng.Now())
+	nd.recontend()
+}
+
+// fail is the shared no-ACK path for lost data frames and unanswered
+// RTSs: classify the loss, double the window or abandon the frame past
+// the retry limit, then contend again. An RTS loss does NOT touch the
+// ARF controller — the data rate was never tested, and keeping
+// collision losses out of the rate decision is exactly what RTS/CTS
+// buys an ARF sender.
+func (nd *Node) fail(tr *transmission) {
+	net := nd.net
+	nd.transmitting = false
+	if tr.interfered(mwFromDBm(net.noiseFloorDBm)) {
+		net.collisions++
+	} else {
+		net.noiseLoss++
+	}
+	nd.retries++
+	if nd.retries > net.cfg.Dcf.RetryLimit {
+		// Abandon the frame and reset the window, as 802.11 does.
+		net.retryDrops++
 		nd.queue = nd.queue[1:]
 		nd.cw = net.cfg.Dcf.CWMin
 		nd.retries = 0
-		tr.pkt.flow.delivered(tr.pkt, net.eng.Now())
+		tr.pkt.flow.dropped()
 	} else {
-		if tr.interfered(mwFromDBm(net.noiseFloorDBm)) {
-			net.collisions++
-		} else {
-			net.noiseLoss++
-		}
-		nd.retries++
-		if nd.retries > net.cfg.Dcf.RetryLimit {
-			// Abandon the frame and reset the window, as 802.11 does.
-			net.retryDrops++
-			nd.queue = nd.queue[1:]
-			nd.cw = net.cfg.Dcf.CWMin
-			nd.retries = 0
-			tr.pkt.flow.dropped()
-		} else {
-			nd.cw = min(2*nd.cw+1, net.cfg.Dcf.CWMax)
-		}
+		nd.cw = min(2*nd.cw+1, net.cfg.Dcf.CWMax)
 	}
-	// A saturated flow's refill may already have restarted contention
-	// from inside enqueue; don't redraw its backoff.
-	if len(nd.queue) > 0 && !nd.contending {
-		nd.startContention()
-	}
+	nd.recontend()
 }

@@ -22,14 +22,32 @@ type medium struct {
 	busyStartUs float64
 }
 
-// transmission is one data+ACK exchange in flight. Interference at the
-// receiver is tracked as a running sum of concurrent arrivals; the
-// worst overlap decides the SINR the frame is judged at.
+// frameKind distinguishes what is on the air: data frames and RTSs are
+// judged by SINR at the receiver, the CTS is a pure reservation
+// announcement (the RTS it answers already proved the link).
+type frameKind int
+
+const (
+	frameData frameKind = iota
+	frameRts
+	frameCts
+)
+
+// transmission is one frame in flight (a data+ACK exchange, an RTS, or
+// a CTS). Interference at the receiver is tracked as a running sum of
+// concurrent arrivals; the worst overlap decides the SINR the frame is
+// judged at.
 type transmission struct {
+	kind    frameKind
 	tx, rx  *Node
 	pkt     *packet
 	mode    linkmodel.Mode
 	startUs float64
+
+	// navUntilUs, when positive, is the absolute time the frame's
+	// duration field reserves the medium until; every node that senses
+	// the frame raises its NAV to it (RTS and CTS carry one).
+	navUntilUs float64
 
 	curIntfMw float64
 	maxIntfMw float64
@@ -40,6 +58,10 @@ type transmission struct {
 	// so finish decrements exactly that set even if gains shift or
 	// membership changes (roaming) while the frame is in flight.
 	sensed []*Node
+	// navAdopters lists the nodes whose NAV this frame's reservation
+	// raised, so an aborted RTS exchange can invoke the standard's
+	// NAV-reset rule on exactly that set.
+	navAdopters []*Node
 }
 
 func (t *transmission) addInterference(mw float64) {
@@ -109,6 +131,25 @@ func (m *medium) start(tr *transmission) {
 			}
 		}
 	}
+	if tr.navUntilUs > 0 {
+		// Virtual carrier sense: every node that can DECODE the control
+		// frame adopts its duration-field reservation. Decoding reaches
+		// well below the energy-detect CS threshold — preamble and
+		// header ride the most robust mode — which is the whole point of
+		// the CTS: a station hidden from the data sender (below CS) still
+		// decodes the receiver's CTS and defers for the exchange. The
+		// addressee is exempt (it must answer), and a half-duplex node
+		// mid-transmission cannot decode what it partially overheard.
+		need := m.net.robustMode().SnrReqDB
+		for _, nd := range m.nodes {
+			if nd == tr.tx || nd == tr.rx || nd.transmitting {
+				continue
+			}
+			if m.net.linkSNRdB(tr.tx, nd) >= need && nd.setNav(tr.navUntilUs) {
+				tr.navAdopters = append(tr.navAdopters, nd)
+			}
+		}
+	}
 }
 
 // finish takes tr off the air, unwinding the interference start added
@@ -152,8 +193,12 @@ func (m *medium) remove(nd *Node) {
 // fail; otherwise the worst-overlap SINR is pushed through the mode's
 // AWGN PER curve and a Bernoulli draw decides. A strong frame can
 // survive a weak overlap — the capture effect — because its SINR stays
-// above the waterfall.
+// above the waterfall. A CTS is never judged: the RTS it answers
+// already proved the link, and protocol responses are not re-drawn.
 func (m *medium) succeeds(tr *transmission) bool {
+	if tr.kind == frameCts {
+		return true
+	}
 	if tr.doomed {
 		return false
 	}

@@ -7,8 +7,13 @@
 // (hidden nodes), and succeed or fail by SINR through the
 // internal/linkmodel PER curves. Positions feed internal/channel path
 // loss, which feeds per-link rate selection from the internal/linkmodel
-// mode tables, so topology, PHY generation, and MAC contention interact
-// the way the paper describes rather than by assumption.
+// mode tables — once at association by default, or frame by frame
+// through mac.ArfController when Config.Arf is set — so topology, PHY
+// generation, and MAC contention interact the way the paper describes
+// rather than by assumption. Above Config.RtsThresholdBytes an
+// exchange opens with RTS/CTS: the short RTS takes the SINR judgment,
+// and the NAV set by the decoded RTS/CTS duration fields defers
+// stations that cannot carrier-sense the data frame itself.
 //
 // The package exposes three levels:
 //
@@ -37,8 +42,8 @@ import (
 // Config carries the PHY/MAC/propagation parameters shared by every
 // node in a simulated network.
 type Config struct {
-	Dcf      mac.DcfConfig        // slot/DIFS/SIFS/CW timing
-	Modes    []linkmodel.Mode     // rate table for per-link selection
+	Dcf      mac.DcfConfig    // slot/DIFS/SIFS/CW timing
+	Modes    []linkmodel.Mode // rate table for per-link selection
 	PathLoss channel.PathLossModel
 	Budget   channel.LinkBudget
 
@@ -51,6 +56,29 @@ type Config struct {
 	// QueueLimit bounds each node's transmit queue; arrivals beyond it
 	// are dropped (drop-tail).
 	QueueLimit int
+
+	// RtsThresholdBytes enables the RTS/CTS exchange for data frames of
+	// at least this many payload bytes. 1 protects everything; 0 or
+	// negative disables the mechanism entirely (note this differs from
+	// the dot11RTSThreshold MIB attribute, where 0 protects every frame
+	// and a value above the maximum MSDU size disables). The
+	// short RTS is what gets judged by SINR, so a hidden-node collision
+	// costs plcp+RTS of airtime instead of the whole data frame, and
+	// the responder's CTS sets the NAV of stations the sender cannot
+	// reach.
+	RtsThresholdBytes int
+
+	// RtsUs / CtsUs are the on-air durations of the RTS and CTS control
+	// frames after the PLCP preamble (they ride the most robust mode in
+	// the rate table).
+	RtsUs, CtsUs float64
+
+	// Arf, when non-nil, replaces association-time median-SNR mode
+	// selection with per-frame automatic rate fallback: each node keeps
+	// one mac.ArfController per destination and feeds it every data
+	// frame outcome, so the rate-vs-range staircase emerges frame by
+	// frame (and collapses back as a station walks away).
+	Arf *mac.ArfConfig
 
 	// RoamIntervalUs, when positive, schedules a periodic scan on which
 	// mobile nodes move and stations reassociate to the strongest AP if
@@ -69,6 +97,8 @@ func DefaultConfig() Config {
 		Budget:           channel.DefaultLinkBudget(20e6),
 		CSThresholdDBm:   -82,
 		QueueLimit:       64,
+		RtsUs:            28,
+		CtsUs:            28,
 		RoamHysteresisDB: 3,
 	}
 }
@@ -104,6 +134,17 @@ type Node struct {
 	busyCount    int
 	boEvent      *sim.Event
 	boStartUs    float64
+
+	// NAV (virtual carrier sense): contention defers until navUntilUs
+	// even when the medium measures idle — the mechanism that protects
+	// an RTS/CTS exchange from stations that cannot hear the data frame.
+	navUntilUs float64
+	navEvent   *sim.Event
+
+	// arf holds one rate-adaptation state machine per destination when
+	// Config.Arf is set (AP side needs one per station; a station gets
+	// a fresh one when it roams to a new AP).
+	arf map[int]*mac.ArfController
 }
 
 // packet is one queued MAC frame.
@@ -139,11 +180,17 @@ type Network struct {
 	// when a node moves, which clears it (refreshGains).
 	modeCache map[[2]int]linkmodel.Mode
 
+	// robustIdx is the rate-table index with the lowest SNR requirement;
+	// RTS/CTS control frames ride it.
+	robustIdx int
+
 	// run-level counters
 	attempts, delivered   int
 	collisions, noiseLoss int
 	retryDrops, queueDrop int
+	rtsSent, rtsFailed    int
 	roams                 int
+	modeAttempts          map[string]int // data-frame attempts per mode name
 }
 
 // New returns an empty network. All randomness (shadowing, backoff,
@@ -153,8 +200,33 @@ func New(cfg Config, seed int64) *Network {
 	if cfg.QueueLimit <= 0 {
 		cfg.QueueLimit = 64
 	}
-	return &Network{cfg: cfg, src: rng.New(seed), noiseFloorDBm: cfg.Budget.NoiseFloorDBm(),
-		modeCache: make(map[[2]int]linkmodel.Mode)}
+	if len(cfg.Modes) == 0 {
+		panic("netsim: Config.Modes is empty")
+	}
+	n := &Network{cfg: cfg, src: rng.New(seed), noiseFloorDBm: cfg.Budget.NoiseFloorDBm(),
+		modeCache:    make(map[[2]int]linkmodel.Mode),
+		modeAttempts: make(map[string]int)}
+	for i, m := range cfg.Modes {
+		if m.SnrReqDB < cfg.Modes[n.robustIdx].SnrReqDB {
+			n.robustIdx = i
+		}
+	}
+	return n
+}
+
+// robustMode is the most robust entry in the rate table, used for the
+// RTS/CTS control frames (802.11 sends control frames at a basic rate).
+func (n *Network) robustMode() linkmodel.Mode { return n.cfg.Modes[n.robustIdx] }
+
+// modeIndex locates m in the configured rate table (ARF controllers
+// work in table indices).
+func (n *Network) modeIndex(m linkmodel.Mode) int {
+	for i, c := range n.cfg.Modes {
+		if c.Name == m.Name {
+			return i
+		}
+	}
+	return n.robustIdx
 }
 
 // Src exposes the network's random source so scenario builders can
@@ -302,6 +374,15 @@ func (n *Network) airtimeUs(m linkmodel.Mode, bytes int) float64 {
 	return d.PlcpUs + float64(8*bytes)/m.RateMbps + d.SIFSUs + d.AckUs
 }
 
+// rtsAirUs / ctsAirUs are the on-air durations of the control frames.
+func (n *Network) rtsAirUs() float64 { return n.cfg.Dcf.PlcpUs + n.cfg.RtsUs }
+func (n *Network) ctsAirUs() float64 { return n.cfg.Dcf.PlcpUs + n.cfg.CtsUs }
+
+// useRts reports whether the packet's exchange opens with an RTS.
+func (n *Network) useRts(p *packet) bool {
+	return n.cfg.RtsThresholdBytes > 0 && p.bytes >= n.cfg.RtsThresholdBytes
+}
+
 // Run plays the network for durationUs of virtual time and returns the
 // aggregated result. It may be called only once per Network.
 func (n *Network) Run(durationUs float64) Result {
@@ -391,13 +472,19 @@ type Result struct {
 	DurationUs float64
 	Flows      []FlowStats
 
-	Attempts    int // transmissions started
+	Attempts    int // exchange attempts started (RTS or data)
 	Delivered   int // frames that passed the SINR draw
 	Collisions  int // failures with interference present
 	NoiseLosses int // failures on a clean channel
 	RetryDrops  int // frames abandoned past the retry limit
 	QueueDrops  int // arrivals lost to full queues
+	RtsAttempts int // exchanges opened with an RTS
+	RtsFailures int // RTSs that drew no CTS (collision or noise)
 	Roams       int
+
+	// ModeAttempts counts data-frame attempts per rate-table mode name
+	// — the per-mode histogram that shows ARF walking the staircase.
+	ModeAttempts map[string]int
 
 	AggGoodputMbps float64
 	// AirtimeFrac is the union busy fraction of the busiest channel.
@@ -410,7 +497,8 @@ func (n *Network) collect(durationUs float64) Result {
 		Attempts:   n.attempts, Delivered: n.delivered,
 		Collisions: n.collisions, NoiseLosses: n.noiseLoss,
 		RetryDrops: n.retryDrops, QueueDrops: n.queueDrop,
-		Roams: n.roams,
+		RtsAttempts: n.rtsSent, RtsFailures: n.rtsFailed,
+		Roams: n.roams, ModeAttempts: n.modeAttempts,
 	}
 	for _, f := range n.flows {
 		fs := f.stats(durationUs)

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/mac"
 )
 
 // Run the same seed sweep serially and with a pool; results must be
@@ -24,6 +26,35 @@ func TestRunnerParallelMatchesSerial(t *testing.T) {
 		if a != b {
 			t.Errorf("job %d diverged between serial and parallel:\n%s\n%s", i, a, b)
 		}
+	}
+}
+
+// With RTS/CTS and per-frame ARF enabled every node carries extra
+// mutable state (NAV timers, per-destination rate controllers); the
+// pool must still reproduce serial results bit for bit, ModeAttempts
+// histograms included.
+func TestRunnerParallelMatchesSerialWithRtsAndArf(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RtsThresholdBytes = 500
+	a := mac.DefaultArf()
+	cfg.Arf = &a
+	jobs := append(
+		SeedSweep("hidden-rts", HiddenPairRtsCts(cfg, 300, 1200), 200000, 300, 4),
+		SeedSweep("dense-arf", DenseGrid(cfg, 2, 4, []int{1, 6}, 30, 1000), 200000, 400, 4)...)
+	serial := ScenarioRunner{Workers: 1}.RunAll(jobs)
+	parallel := ScenarioRunner{Workers: 4}.RunAll(jobs)
+	for i := range serial {
+		a, b := fmt.Sprintf("%+v", serial[i]), fmt.Sprintf("%+v", parallel[i])
+		if a != b {
+			t.Errorf("job %d diverged between serial and parallel:\n%s\n%s", i, a, b)
+		}
+	}
+	rts := 0
+	for _, r := range serial[:4] {
+		rts += r.RtsAttempts
+	}
+	if rts == 0 {
+		t.Error("RTS/CTS jobs sent no RTSs; the test is not exercising the new state")
 	}
 }
 

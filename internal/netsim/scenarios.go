@@ -84,6 +84,16 @@ func HiddenPair(cfg Config, separationM float64, payloadBytes int) func(seed int
 	}
 }
 
+// HiddenPairRtsCts is HiddenPair with the RTS/CTS exchange forced on
+// for every data frame — the packet-level counterpart of
+// mac.RunHiddenTerminal's RtsCts mode. The stations cannot hear each
+// other's RTS, but the AP's CTS sets both NAVs, so a collision costs
+// one RTS instead of a whole data frame.
+func HiddenPairRtsCts(cfg Config, separationM float64, payloadBytes int) func(seed int64) *Network {
+	cfg.RtsThresholdBytes = 1
+	return HiddenPair(cfg, separationM, payloadBytes)
+}
+
 // RoamingWalk builds two APs on the same channel with one mobile
 // station walking from the first toward the second while streaming CBR
 // uplink — the strongest-signal reassociation demo.

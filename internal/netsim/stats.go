@@ -12,10 +12,10 @@ type FlowStats struct {
 	QueueDrops int // lost to a full transmit queue
 	RetryDrops int // abandoned past the MAC retry limit
 
-	GoodputMbps  float64
-	MeanDelayUs  float64 // arrival to end of successful exchange
-	MaxDelayUs   float64
-	JitterUs     float64 // RFC 3550 smoothed delay variation
+	GoodputMbps float64
+	MeanDelayUs float64 // arrival to end of successful exchange
+	MaxDelayUs  float64
+	JitterUs    float64 // RFC 3550 smoothed delay variation
 }
 
 // DropRate is the fraction of arrivals that never got through.

@@ -1,6 +1,11 @@
 package netsim
 
-import "repro/internal/rng"
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
 
 // TrafficGen produces a flow's packet arrivals. Implementations are
 // consumed by exactly one Flow (OnOff keeps burst state internally).
@@ -17,6 +22,18 @@ type TrafficGen interface {
 	firstGapUs(src *rng.Source) float64
 	// nextGapUs draws the inter-arrival gap after each packet.
 	nextGapUs(src *rng.Source) float64
+	// validate panics when the generator's parameters cannot produce a
+	// sane arrival process — a zero CBR interval schedules an unbounded
+	// same-instant arrival storm, a zero Poisson rate yields Inf/NaN
+	// gaps. Flow.start calls it before the first arrival is drawn.
+	validate()
+}
+
+// checkPositive panics unless v is a finite, strictly positive number.
+func checkPositive(gen, field string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		panic(fmt.Sprintf("netsim: %s.%s must be positive and finite, got %v", gen, field, v))
+	}
 }
 
 // Saturated models a full-buffer sender: the queue is topped up after
@@ -28,6 +45,9 @@ func (s Saturated) Bytes() int                     { return s.PayloadBytes }
 func (s Saturated) isSaturated() bool              { return true }
 func (s Saturated) firstGapUs(*rng.Source) float64 { return 0 }
 func (s Saturated) nextGapUs(*rng.Source) float64  { return 0 }
+func (s Saturated) validate() {
+	checkPositive("Saturated", "PayloadBytes", float64(s.PayloadBytes))
+}
 
 // Poisson emits packets with exponential inter-arrival times at the
 // given mean rate.
@@ -45,6 +65,10 @@ func (p Poisson) firstGapUs(src *rng.Source) float64 {
 func (p Poisson) nextGapUs(src *rng.Source) float64 {
 	return src.Exponential(1e6 / p.PktPerSec)
 }
+func (p Poisson) validate() {
+	checkPositive("Poisson", "PayloadBytes", float64(p.PayloadBytes))
+	checkPositive("Poisson", "PktPerSec", p.PktPerSec)
+}
 
 // CBR emits fixed-size packets on a fixed interval, with a random
 // initial phase so co-located CBR flows do not arrive in lockstep.
@@ -58,6 +82,10 @@ func (c CBR) Bytes() int                         { return c.PayloadBytes }
 func (c CBR) isSaturated() bool                  { return false }
 func (c CBR) firstGapUs(src *rng.Source) float64 { return src.Float64() * c.IntervalUs }
 func (c CBR) nextGapUs(*rng.Source) float64      { return c.IntervalUs }
+func (c CBR) validate() {
+	checkPositive("CBR", "PayloadBytes", float64(c.PayloadBytes))
+	checkPositive("CBR", "IntervalUs", c.IntervalUs)
+}
 
 // OnOff is a bursty source: CBR arrivals during exponential on-periods
 // separated by exponential silences. The first burst begins after one
@@ -79,6 +107,12 @@ func (o *OnOff) firstGapUs(src *rng.Source) float64 {
 	o.remainingOnUs = src.Exponential(o.OnMeanUs)
 	return gap
 }
+func (o *OnOff) validate() {
+	checkPositive("OnOff", "PayloadBytes", float64(o.PayloadBytes))
+	checkPositive("OnOff", "IntervalUs", o.IntervalUs)
+	checkPositive("OnOff", "OnMeanUs", o.OnMeanUs)
+	checkPositive("OnOff", "OffMeanUs", o.OffMeanUs)
+}
 func (o *OnOff) nextGapUs(src *rng.Source) float64 {
 	gap := o.IntervalUs
 	o.remainingOnUs -= gap
@@ -97,14 +131,14 @@ type Flow struct {
 	To   *Node
 	Gen  TrafficGen
 
-	arrivals, deliveredN  int
-	queueDrops, lineDrops int
-	bytesDelivered        int
+	arrivals, deliveredN   int
+	queueDrops, lineDrops  int
+	bytesDelivered         int
 	sumDelayUs, maxDelayUs float64
-	jitterUs              float64 // RFC 3550 smoothed interarrival jitter
-	lastDelayUs           float64
-	hasLast               bool
-	saturated             bool
+	jitterUs               float64 // RFC 3550 smoothed interarrival jitter
+	lastDelayUs            float64
+	hasLast                bool
+	saturated              bool
 }
 
 // dest resolves the flow's receiver at transmit time.
@@ -115,8 +149,9 @@ func (f *Flow) dest() *Node {
 	return f.From.bss.AP
 }
 
-// start seeds the arrival process.
+// start validates the generator and seeds the arrival process.
 func (f *Flow) start() {
+	f.Gen.validate()
 	if f.Gen.isSaturated() {
 		f.saturated = true
 		f.arrive()

@@ -11,14 +11,30 @@ type Event struct {
 	seq       int64
 	fn        func()
 	cancelled bool
-	index     int
+	// index is the event's position in the owning engine's heap, or -1
+	// once it has fired or been removed. Cancel uses it to take the
+	// event out of the queue eagerly rather than leaving a dead entry
+	// to be skipped at pop time — workloads that churn cancellations
+	// (netsim's carrier-sense pauses) would otherwise grow the heap
+	// with garbage.
+	index int
+	eng   *Engine
 }
 
 // Time returns the event's scheduled time.
 func (e *Event) Time() float64 { return e.time }
 
-// Cancel prevents the event from firing. Safe to call more than once.
-func (e *Event) Cancel() { e.cancelled = true }
+// Cancel prevents the event from firing and removes it from the queue.
+// Safe to call more than once, and after the event has fired.
+func (e *Event) Cancel() {
+	if e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 {
+		heap.Remove(&e.eng.queue, e.index)
+	}
+}
 
 // Engine is the simulation clock and event queue. The zero value is
 // ready to use.
@@ -46,37 +62,26 @@ func (e *Engine) At(t float64, fn func()) *Event {
 		panic("sim: scheduling in the past")
 	}
 	e.seq++
-	ev := &Event{time: t, seq: e.seq, fn: fn}
+	ev := &Event{time: t, seq: e.seq, fn: fn, eng: e}
 	heap.Push(&e.queue, ev)
 	return ev
 }
 
 // Step fires the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.time
-		ev.fn()
-		return true
+	if e.queue.Len() == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.time
+	ev.fn()
+	return true
 }
 
 // Run fires events until the queue empties or the clock passes until.
 // Events scheduled exactly at until still fire.
 func (e *Engine) Run(until float64) {
-	for e.queue.Len() > 0 {
-		next := e.queue[0]
-		if next.cancelled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.time > until {
-			break
-		}
+	for e.queue.Len() > 0 && e.queue[0].time <= until {
 		e.Step()
 	}
 	if e.now < until {
@@ -84,16 +89,9 @@ func (e *Engine) Run(until float64) {
 	}
 }
 
-// Pending returns the number of live events in the queue.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of live events in the queue. Cancelled
+// events are removed eagerly, so this is just the queue length.
+func (e *Engine) Pending() int { return e.queue.Len() }
 
 // eventHeap orders by time, breaking ties by scheduling order so the
 // simulation is deterministic.
@@ -121,6 +119,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1
 	*h = old[:n-1]
 	return ev
 }

@@ -151,6 +151,70 @@ func TestCancelSameTimestampFromEarlierEvent(t *testing.T) {
 	}
 }
 
+func TestCancelRemovesEagerly(t *testing.T) {
+	// Cancel must take the event out of the heap immediately, not leave
+	// a dead entry to be skipped later: Pending reflects the drop at
+	// once, and double-Cancel stays a no-op.
+	var e Engine
+	evs := make([]*Event, 100)
+	for i := range evs {
+		evs[i] = e.Schedule(float64(i+1), func() {})
+	}
+	for i := 0; i < 50; i++ {
+		evs[2*i].Cancel()
+		evs[2*i].Cancel() // idempotent
+	}
+	if e.Pending() != 50 {
+		t.Errorf("pending = %d after cancelling half, want 50", e.Pending())
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	_ = fired
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after drain", e.Pending())
+	}
+}
+
+func TestCancelInterleavedWithReschedule(t *testing.T) {
+	// The netsim carrier-sense pattern: schedule, cancel, reschedule in
+	// a tight loop. The queue must not accumulate dead events.
+	var e Engine
+	var ev *Event
+	for i := 0; i < 1000; i++ {
+		if ev != nil {
+			ev.Cancel()
+		}
+		ev = e.Schedule(1, func() {})
+		if e.Pending() != 1 {
+			t.Fatalf("pending = %d at iteration %d, want 1", e.Pending(), i)
+		}
+	}
+}
+
+// BenchmarkCancelChurn models netsim's backoff freeze/resume: every
+// iteration cancels a live event and schedules a replacement. With lazy
+// cancellation the heap would grow with dead entries; eager removal
+// keeps it flat.
+func BenchmarkCancelChurn(b *testing.B) {
+	var e Engine
+	const live = 64 // concurrently armed backoff events
+	evs := make([]*Event, live)
+	for i := range evs {
+		evs[i] = e.Schedule(float64(i+1), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % live
+		evs[slot].Cancel()
+		evs[slot] = e.Schedule(float64(live), func() {})
+	}
+	if e.Pending() > live {
+		b.Fatalf("heap grew to %d entries despite cancels", e.Pending())
+	}
+}
+
 func TestCancelBeforeAnyPop(t *testing.T) {
 	var e Engine
 	fired := false
