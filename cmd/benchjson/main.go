@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact so CI can accumulate a per-PR performance trajectory.
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_netsim.json
+//
+// The output is a single JSON object with the parse timestamp left to
+// the consumer (CI records it) and one entry per benchmark:
+//
+//	{"benchmarks": [{"name": "BenchmarkE22NetSim-8", "iterations": 1,
+//	  "ns_per_op": 123456, "bytes_per_op": 789, "allocs_per_op": 12}, ...]}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Artifact is the JSON document benchjson emits.
+type Artifact struct {
+	Commit     string  `json:"commit,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// parseLine decodes one `BenchmarkName-N  iters  123 ns/op [456 B/op 7 allocs/op]`
+// line, reporting ok=false for non-benchmark lines (headers, PASS/ok).
+func parseLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Bench{}, false
+	}
+	return b, true
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark text output to parse (- for stdin)")
+	out := flag.String("out", "-", "JSON artifact path (- for stdout)")
+	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash to stamp into the artifact")
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	art := Artifact{Commit: *commit}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			art.Benchmarks = append(art.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(art.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkE22NetSim-8   \t1\t 123456789 ns/op\t  456 B/op\t  12 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognised")
+	}
+	if b.Name != "BenchmarkE22NetSim-8" || b.Iterations != 1 ||
+		b.NsPerOp != 123456789 || b.BytesPerOp != 456 || b.AllocsPerOp != 12 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b, ok := parseLine("BenchmarkCancelChurn-4  100  5034 ns/op"); !ok || b.NsPerOp != 5034 {
+		t.Errorf("mem-stat-free line: ok=%v %+v", ok, b)
+	}
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t12.3s",
+		"Benchmark name without numbers",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("non-benchmark line parsed: %q", line)
+		}
+	}
+}

@@ -1,14 +1,17 @@
 // Command netsim runs packet-level multi-BSS scenarios from
-// internal/netsim and prints per-flow and aggregate tables.
+// internal/netsim and prints per-flow, per-AC, and aggregate tables.
 //
 // Usage:
 //
 //	netsim -scenario dense -bss 3 -sta 17 -channels 1 -duration 1.0
 //	netsim -scenario dense -channels 1,6,11 -seeds 8 -workers 4
 //	netsim -scenario mix -data-mbps 4
+//	netsim -scenario mix -edca            # 802.11e access categories
+//	netsim -scenario mix -edca -downlink  # AP-sourced mix: per-AC queues at the AP
 //	netsim -scenario hidden
 //	netsim -scenario hidden -rts 1     # RTS/CTS + NAV rescue
 //	netsim -scenario roam -arf         # per-frame rate fallback
+//	netsim -scenario roam -downlink    # downlink queue follows the walker
 //	netsim -scenario dense -compare   # serial vs parallel wall-clock
 package main
 
@@ -38,6 +41,8 @@ func main() {
 	dataMbps := flag.Float64("data-mbps", 2, "offered load per data flow (mix)")
 	rts := flag.Int("rts", 0, "RTS/CTS threshold in payload bytes (1 = every frame, 0 = off)")
 	arf := flag.Bool("arf", false, "per-frame ARF rate adaptation instead of association-time mode selection")
+	edca := flag.Bool("edca", false, "802.11e EDCA access categories (voice AC_VO, data AC_BE, background AC_BK) instead of legacy single-class DCF")
+	downlink := flag.Bool("downlink", false, "source flows at the AP instead of the stations (mix: per-AC queues at the AP; roam: the queue follows the walker between APs)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	compare := flag.Bool("compare", false, "time the seed sweep serially and with the worker pool")
 	flag.Parse()
@@ -62,17 +67,29 @@ func main() {
 		a := mac.DefaultArf()
 		cfg.Arf = &a
 	}
+	if *edca {
+		e := netsim.DefaultEdca(cfg.Dcf, cfg.QueueLimit)
+		cfg.Edca = &e
+	}
 	var build func(seed int64) *netsim.Network
 	switch *scenario {
 	case "dense":
 		build = netsim.DenseGrid(cfg, *nBSS, *sta, channels, 25, *payload)
 	case "mix":
-		build = netsim.TrafficMix(cfg, 6, 4, 2, *dataMbps)
+		if *downlink {
+			build = netsim.TrafficMixDownlink(cfg, 6, 4, 2, *dataMbps)
+		} else {
+			build = netsim.TrafficMix(cfg, 6, 4, 2, *dataMbps)
+		}
 	case "hidden":
 		build = netsim.HiddenPair(cfg, 300, *payload)
 	case "roam":
 		cfg.RoamIntervalUs = 100000
-		build = netsim.RoamingWalk(cfg, 120, 15)
+		if *downlink {
+			build = netsim.RoamingWalkDownlink(cfg, 120, 15)
+		} else {
+			build = netsim.RoamingWalk(cfg, 120, 15)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(1)
@@ -108,23 +125,37 @@ func main() {
 	agg := report.Table{
 		ID:     "netsim",
 		Title:  fmt.Sprintf("%s: %d seed(s), %.2f s virtual each (wall %v)", *scenario, *seeds, *durationS, wall.Round(time.Millisecond)),
-		Header: []string{"seed", "agg Mbps", "delivered", "attempts", "collisions", "rts", "rts fail", "retry drops", "queue drops", "roams", "airtime", "Jain"},
+		Header: []string{"seed", "agg Mbps", "delivered", "attempts", "collisions", "virt coll", "rts", "rts fail", "retry drops", "queue drops", "roams", "airtime", "Jain"},
 	}
 	for i, r := range results {
 		agg.AddRow(int(jobs[i].Seed), r.AggGoodputMbps, r.Delivered, r.Attempts,
-			r.Collisions, r.RtsAttempts, r.RtsFailures, r.RetryDrops, r.QueueDrops,
-			r.Roams, r.AirtimeFrac, netsim.JainIndex(netsim.Goodputs(r.Flows)))
+			r.Collisions, r.VirtualCollisions, r.RtsAttempts, r.RtsFailures,
+			r.RetryDrops, r.QueueDrops, r.Roams, r.AirtimeFrac,
+			netsim.JainIndex(netsim.Goodputs(r.Flows)))
 	}
 	flows := report.Table{
 		ID:     "flows",
 		Title:  fmt.Sprintf("per-flow detail, seed %d", jobs[0].Seed),
-		Header: []string{"flow", "arrivals", "delivered", "Mbps", "mean delay us", "jitter us", "drop rate"},
+		Header: []string{"flow", "arrivals", "delivered", "Mbps", "mean delay us", "p95 delay us", "jitter us", "drop rate"},
 	}
 	for _, f := range results[0].Flows {
 		flows.AddRow(f.Label, f.Arrivals, f.Delivered, f.GoodputMbps,
-			f.MeanDelayUs, f.JitterUs, fmt.Sprintf("%.3f", f.DropRate()))
+			f.MeanDelayUs, f.P95DelayUs, f.JitterUs, fmt.Sprintf("%.3f", f.DropRate()))
 	}
-	for _, tb := range []report.Table{agg, flows} {
+	acs := report.Table{
+		ID:     "acs",
+		Title:  fmt.Sprintf("per-access-category breakdown, seed %d", jobs[0].Seed),
+		Header: []string{"AC", "flows", "attempts", "delivered", "collisions", "retry drops", "queue drops", "mean delay us", "p95 delay us"},
+	}
+	for ac := netsim.NumACs - 1; ac >= 0; ac-- {
+		s := results[0].PerAC[ac]
+		if s.Flows == 0 && s.Attempts == 0 {
+			continue
+		}
+		acs.AddRow(ac.String(), s.Flows, s.Attempts, s.Delivered,
+			s.Collisions, s.RetryDrops, s.QueueDrops, s.MeanDelayUs, s.P95DelayUs)
+	}
+	for _, tb := range []report.Table{agg, flows, acs} {
 		if *csv {
 			fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
 		} else {

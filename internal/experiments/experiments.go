@@ -1,4 +1,4 @@
-// Package experiments contains one runner per reproduced exhibit E1-E24.
+// Package experiments contains one runner per reproduced exhibit E1-E25.
 // The paper (a survey) prints no numbered tables or figures; each runner
 // regenerates one of its quantitative claims as a table, with the claim
 // quoted in the table note. EXPERIMENTS.md records paper-vs-measured.
@@ -61,6 +61,7 @@ func All() []Runner {
 		{"E22", "Dense multi-BSS capacity: co-channel vs channel reuse (netsim)", E22DenseBSS},
 		{"E23", "Traffic-mix delay and fairness under contention (netsim)", E23TrafficMix},
 		{"E24", "Hidden-terminal RTS/CTS + NAV rescue and per-frame ARF (netsim)", E24RtsCtsHidden},
+		{"E25", "EDCA access categories: voice tail latency vs legacy DCF (netsim)", E25EdcaQos},
 	}
 }
 

@@ -323,6 +323,37 @@ func TestE23VoiceDelayGrowsWithLoad(t *testing.T) {
 	}
 }
 
+func TestE25EdcaProtectsVoiceTail(t *testing.T) {
+	tb := E25EdcaQos(Quick())[0]
+	// Columns: data load, legacy p95, EDCA p95, ratio, drops, goodputs.
+	// At the highest data load the acceptance bar is a 5x tail-latency
+	// protection for AC_VO voice over the legacy single class.
+	last := tb.Rows[len(tb.Rows)-1]
+	legacyP95, edcaP95 := parse(t, last[1]), parse(t, last[2])
+	if legacyP95 < 5*edcaP95 {
+		t.Errorf("high-load voice p95: legacy %v us vs EDCA %v us; want at least 5x protection",
+			legacyP95, edcaP95)
+	}
+	// At the lightest load the two schemes should be comparable — EDCA
+	// must not penalize an uncongested cell.
+	first := tb.Rows[0]
+	if lp, ep := parse(t, first[1]), parse(t, first[2]); ep > 2*lp {
+		t.Errorf("light-load EDCA voice p95 %v us above 2x legacy %v us", ep, lp)
+	}
+	// The EDCA column's tail must stay flat-ish across the sweep while
+	// the legacy column explodes.
+	edcaFirst, edcaLast := parse(t, first[2]), parse(t, last[2])
+	if edcaLast > 10*edcaFirst {
+		t.Errorf("EDCA voice p95 still exploded with load: %v -> %v us", edcaFirst, edcaLast)
+	}
+	// Data must keep flowing in both schemes at every load.
+	for _, row := range tb.Rows {
+		if dl, de := parse(t, row[6]), parse(t, row[7]); dl <= 0 || de <= 0 {
+			t.Errorf("data starved at load %s: legacy %v, edca %v", row[0], dl, de)
+		}
+	}
+}
+
 func TestE24RtsRecoveryAndArfStaircase(t *testing.T) {
 	tables := E24RtsCtsHidden(Quick())
 	if len(tables) != 2 {

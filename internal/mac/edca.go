@@ -1,0 +1,68 @@
+package mac
+
+import "fmt"
+
+// 802.11e EDCA: four prioritized access categories, each contending
+// with its own AIFS (arbitration inter-frame space) and contention
+// window. A smaller AIFSN and CW let a category seize the medium ahead
+// of the others; the defaults below are the standard's mapping of
+// voice ahead of video ahead of best effort ahead of background.
+
+// AccessCategory indexes the four EDCA access categories. Higher values
+// are higher priority — AC_VO wins a virtual collision against AC_BE.
+type AccessCategory int
+
+const (
+	AC_BK AccessCategory = iota // background
+	AC_BE                       // best effort (the legacy-DCF class)
+	AC_VI                       // video
+	AC_VO                       // voice
+
+	// NumACs sizes per-AC tables.
+	NumACs
+)
+
+// String names the category the way the standard writes it.
+func (ac AccessCategory) String() string {
+	switch ac {
+	case AC_BK:
+		return "AC_BK"
+	case AC_BE:
+		return "AC_BE"
+	case AC_VI:
+		return "AC_VI"
+	case AC_VO:
+		return "AC_VO"
+	}
+	return fmt.Sprintf("AC(%d)", int(ac))
+}
+
+// EdcaAc is one access category's EDCA parameter set. AIFSN counts
+// slots: AIFS = SIFS + AIFSN·slot, so AIFSN 2 reproduces legacy DIFS.
+type EdcaAc struct {
+	AIFSN int
+	CWMin int
+	CWMax int
+}
+
+// EdcaTable holds one parameter set per access category, indexed by
+// AccessCategory.
+type EdcaTable [NumACs]EdcaAc
+
+// Dot11eEdca returns the 802.11e default EDCA parameter sets derived
+// from the PHY's DCF contention window (aCWmin/aCWmax come from
+// d.CWMin/d.CWMax, so the same call covers 802.11b and 802.11a/g
+// timing):
+//
+//	AC_BK: AIFSN 7, CW aCWmin..aCWmax
+//	AC_BE: AIFSN 3, CW aCWmin..aCWmax
+//	AC_VI: AIFSN 2, CW (aCWmin+1)/2-1 .. aCWmin
+//	AC_VO: AIFSN 2, CW (aCWmin+1)/4-1 .. (aCWmin+1)/2-1
+func Dot11eEdca(d DcfConfig) EdcaTable {
+	return EdcaTable{
+		AC_BK: {AIFSN: 7, CWMin: d.CWMin, CWMax: d.CWMax},
+		AC_BE: {AIFSN: 3, CWMin: d.CWMin, CWMax: d.CWMax},
+		AC_VI: {AIFSN: 2, CWMin: (d.CWMin+1)/2 - 1, CWMax: d.CWMin},
+		AC_VO: {AIFSN: 2, CWMin: (d.CWMin+1)/4 - 1, CWMax: (d.CWMin+1)/2 - 1},
+	}
+}

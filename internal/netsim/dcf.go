@@ -3,18 +3,26 @@ package netsim
 import (
 	"repro/internal/linkmodel"
 	"repro/internal/mac"
+	"repro/internal/sim"
 )
 
-// Event-driven DCF, one state machine per node. A node is idle (empty
-// queue), contending (a backoff is counting down, frozen whenever the
-// medium is sensed busy or the NAV is set), or transmitting. The
-// countdown is realised as a single scheduled event at
-// DIFS + slots·slotTime; carrier sense cancels it and banks the slots
-// already elapsed, idle restores it. Two nodes whose countdowns expire
-// in the same slot both transmit — the pause path detects a zero
-// remainder and fires immediately — which is exactly how DCF collides.
+// Event-driven EDCA/DCF. Each node carries four access-category
+// transmit queues (acQueue); each backlogged queue runs its own
+// countdown — a single scheduled event at AIFS + slots·slotTime —
+// frozen whenever the medium is sensed busy, the NAV is set, or the
+// node itself is transmitting. Carrier sense cancels the event and
+// banks the slots already elapsed; idle restores it. Two queues of
+// DIFFERENT nodes expiring in the same slot both transmit and collide
+// on the air, exactly as DCF does. Two queues of the SAME node expiring
+// in the same slot resolve internally by the 802.11e virtual-collision
+// rule: the highest category wins the transmit opportunity and the
+// losers retry as if they had collided (window doubled, backoff
+// redrawn). Legacy DCF is the degenerate table where every flow is
+// coerced into AC_BE with DIFS/CW from mac.DcfConfig, so there is one
+// effective queue per node and neither the arbitration nor the AIFS
+// differentiation can fire.
 //
-// A winning node runs one of two exchanges:
+// A winning queue runs one of two exchanges:
 //
 //	data+ACK                         (payload below the RTS threshold)
 //	RTS — SIFS — CTS — SIFS — data+ACK  (at or above it)
@@ -30,42 +38,76 @@ import (
 // whole slots.
 const slotEps = 1e-6
 
-// enqueue appends a packet, kicking off contention if the node was
-// idle. Full queues drop the arrival (drop-tail).
+// acQueue is one access category's transmit queue plus its EDCA
+// contention state. The per-node state that all categories share —
+// physical carrier sense, NAV, the half-duplex transmitting flag —
+// stays on Node.
+type acQueue struct {
+	node *Node
+	ac   AC
+
+	queue        []*packet
+	cw           int
+	backoffSlots int
+	retries      int
+	contending   bool
+	boEvent      *sim.Event
+	boStartUs    float64
+	fireAtUs     float64
+}
+
+// params is the category's live EDCA parameter set.
+func (q *acQueue) params() *AcParams { return &q.node.net.edca[q.ac] }
+
+// enqueue appends a packet to its category's queue, kicking off
+// contention if that queue was idle. Full queues drop the arrival
+// (drop-tail per category) and charge both the flow and the per-AC
+// counter.
 func (nd *Node) enqueue(p *packet) bool {
-	if len(nd.queue) >= nd.net.cfg.QueueLimit {
-		nd.net.queueDrop++
+	q := &nd.acq[p.ac]
+	if len(q.queue) >= q.params().QueueLimit {
+		nd.net.queueDrop[p.ac]++
+		p.flow.queueDrops++
 		return false
 	}
-	nd.queue = append(nd.queue, p)
-	if !nd.contending && !nd.transmitting {
-		nd.startContention()
+	q.queue = append(q.queue, p)
+	if !q.contending && !nd.transmitting {
+		q.startContention()
 	}
 	return true
 }
 
-// startContention draws a fresh backoff from the current window and
-// arms the countdown (deferred while the medium is busy or reserved).
-func (nd *Node) startContention() {
-	nd.backoffSlots = nd.net.src.Intn(nd.cw + 1)
-	nd.contending = true
-	nd.tryResume()
+// startContention draws a fresh backoff from the category's current
+// window and arms the countdown (deferred while the medium is busy or
+// reserved).
+func (q *acQueue) startContention() {
+	q.backoffSlots = q.node.net.src.Intn(q.cw + 1)
+	q.contending = true
+	q.tryResume()
 }
 
-// recontend restarts contention for the next queued frame unless a
-// refill already did (a saturated flow's refill may have restarted it
-// from inside enqueue; don't redraw its backoff).
+// recontend restarts contention after an exchange ends: every category
+// with backlog and no live contention draws a backoff (unless a refill
+// already did from inside enqueue), and categories frozen for the
+// exchange re-arm their countdowns.
 func (nd *Node) recontend() {
-	if len(nd.queue) > 0 && !nd.contending {
-		nd.startContention()
+	for ac := range nd.acq {
+		q := &nd.acq[ac]
+		if len(q.queue) > 0 && !q.contending {
+			q.startContention()
+		} else if q.contending {
+			q.tryResume()
+		}
 	}
 }
 
-// tryResume arms the countdown event when the medium is physically idle
-// and the NAV has expired. The event fires after a full DIFS plus the
-// remaining backoff slots.
-func (nd *Node) tryResume() {
-	if !nd.contending || nd.transmitting || nd.busyCount > 0 || nd.boEvent != nil {
+// tryResume arms the category's countdown event when the medium is
+// physically idle, the NAV has expired, and the node is not mid-
+// exchange. The event fires after a full AIFS plus the remaining
+// backoff slots.
+func (q *acQueue) tryResume() {
+	nd := q.node
+	if !q.contending || nd.transmitting || nd.busyCount > 0 || q.boEvent != nil {
 		return
 	}
 	if nd.navUntilUs > nd.net.eng.Now()+slotEps {
@@ -73,39 +115,121 @@ func (nd *Node) tryResume() {
 		// here when the reservation lapses.
 		return
 	}
-	d := nd.net.cfg.Dcf
-	nd.boStartUs = nd.net.eng.Now() + d.DIFSUs
-	nd.boEvent = nd.net.eng.Schedule(d.DIFSUs+float64(nd.backoffSlots)*d.SlotUs, nd.transmit)
+	p := q.params()
+	q.boStartUs = nd.net.eng.Now() + p.AifsUs
+	delay := p.AifsUs + float64(q.backoffSlots)*nd.net.cfg.Dcf.SlotUs
+	q.fireAtUs = nd.net.eng.Now() + delay
+	q.boEvent = nd.net.eng.Schedule(delay, q.fire)
 }
 
-// pause reacts to the medium going busy: bank elapsed slots and cancel
-// the countdown. A countdown that had already reached zero in this very
-// slot transmits anyway — the station cannot sense and abort within the
-// slot, so it collides with the transmission that made the medium busy.
+// tryResume re-arms every contending category (medium idle / NAV
+// expiry / post-roam re-baseline).
+func (nd *Node) tryResume() {
+	for ac := range nd.acq {
+		nd.acq[ac].tryResume()
+	}
+}
+
+// fire is a countdown expiring. Sibling categories whose countdowns
+// reached zero in this very slot lose the internal arbitration to the
+// highest category — the 802.11e virtual collision — and the winner
+// transmits.
+func (q *acQueue) fire() {
+	q.boEvent = nil
+	nd := q.node
+	now := nd.net.eng.Now()
+	winner := q
+	for ac := range nd.acq {
+		s := &nd.acq[ac]
+		if s == q || s.boEvent == nil || s.fireAtUs > now+slotEps {
+			continue
+		}
+		s.boEvent.Cancel()
+		s.boEvent = nil
+		if s.ac > winner.ac {
+			winner.virtualCollision()
+			winner = s
+		} else {
+			s.virtualCollision()
+		}
+	}
+	nd.transmit(winner)
+}
+
+// virtualCollision applies the loser's side of internal arbitration:
+// retry as if the frame had collided on the air — count the retry,
+// double the window (or abandon the frame past the retry limit), and
+// redraw the backoff. The queue stays contending; its countdown re-arms
+// when the winner's exchange releases the medium.
+func (q *acQueue) virtualCollision() {
+	net := q.node.net
+	net.virtualColl++
+	q.retries++
+	if q.retries > net.cfg.Dcf.RetryLimit {
+		net.retryDrops[q.ac]++
+		p := q.queue[0]
+		q.queue = q.queue[1:]
+		q.cw = q.params().CWMin
+		q.retries = 0
+		p.flow.dropped(q.node)
+	} else {
+		q.cw = min(2*q.cw+1, q.params().CWMax)
+	}
+	if len(q.queue) == 0 {
+		q.contending = false
+		return
+	}
+	q.backoffSlots = net.src.Intn(q.cw + 1)
+}
+
+// pause reacts to the medium going busy: every armed countdown banks
+// its elapsed slots and cancels. A countdown that had already reached
+// zero in this very slot transmits anyway — the station cannot sense
+// and abort within the slot, so it collides with the transmission that
+// made the medium busy. Several of the node's own categories reaching
+// zero together resolve by virtual collision first.
 func (nd *Node) pause() {
-	if nd.boEvent == nil {
-		return
+	var ready *acQueue
+	for ac := range nd.acq {
+		q := &nd.acq[ac]
+		if q.boEvent == nil {
+			continue
+		}
+		q.boEvent.Cancel()
+		q.boEvent = nil
+		if q.bankElapsedSlots() && q.backoffSlots == 0 {
+			if ready == nil {
+				ready = q
+			} else if q.ac > ready.ac {
+				ready.virtualCollision()
+				ready = q
+			} else {
+				q.virtualCollision()
+			}
+		}
 	}
-	nd.boEvent.Cancel()
-	nd.boEvent = nil
-	if nd.bankElapsedSlots() && nd.backoffSlots == 0 {
-		nd.transmit()
+	if ready != nil {
+		nd.transmit(ready)
 	}
 }
 
-// freezeBackoff banks elapsed slots without the collide-on-zero rule;
-// roaming and NAV-setting use it so neither launches a transmission.
+// freezeBackoff banks elapsed slots in every armed countdown without
+// the collide-on-zero rule; roaming, NAV-setting, and the node's own
+// transmit opportunity use it so none of them launches a transmission.
 func (nd *Node) freezeBackoff() {
-	if nd.boEvent == nil {
-		return
+	for ac := range nd.acq {
+		q := &nd.acq[ac]
+		if q.boEvent == nil {
+			continue
+		}
+		q.boEvent.Cancel()
+		q.boEvent = nil
+		q.bankElapsedSlots()
 	}
-	nd.boEvent.Cancel()
-	nd.boEvent = nil
-	nd.bankElapsedSlots()
 }
 
 // setNav extends the node's NAV to untilUs — virtual carrier sense from
-// a decoded RTS or CTS duration field. The countdown freezes without
+// a decoded RTS or CTS duration field. The countdowns freeze without
 // the collide-on-zero rule (the station decoded the reservation, so it
 // defers cleanly) and a wake event re-arms contention at expiry. The
 // NAV only grows here (an earlier reservation inside a longer one is
@@ -150,18 +274,18 @@ func (nd *Node) armNavEvent(untilUs float64) {
 }
 
 // bankElapsedSlots subtracts the whole slots that elapsed since the
-// countdown started. It reports whether the countdown phase (post-DIFS)
-// had begun; during DIFS nothing has elapsed.
-func (nd *Node) bankElapsedSlots() bool {
-	elapsed := nd.net.eng.Now() - nd.boStartUs
+// countdown started. It reports whether the countdown phase (post-AIFS)
+// had begun; during the AIFS nothing has elapsed.
+func (q *acQueue) bankElapsedSlots() bool {
+	elapsed := q.node.net.eng.Now() - q.boStartUs
 	if elapsed < -slotEps {
 		return false
 	}
-	slots := int((elapsed + slotEps) / nd.net.cfg.Dcf.SlotUs)
-	if slots > nd.backoffSlots {
-		slots = nd.backoffSlots
+	slots := int((elapsed + slotEps) / q.node.net.cfg.Dcf.SlotUs)
+	if slots > q.backoffSlots {
+		slots = q.backoffSlots
 	}
-	nd.backoffSlots -= slots
+	q.backoffSlots -= slots
 	return true
 }
 
@@ -191,16 +315,19 @@ func (nd *Node) arfFor(rx *Node) *mac.ArfController {
 	return c
 }
 
-// transmit opens the exchange for the head-of-line frame: straight to
-// the data frame, or through RTS/CTS at or above the threshold.
-func (nd *Node) transmit() {
-	nd.boEvent = nil
-	nd.contending = false
+// transmit opens the exchange for the winning category's head-of-line
+// frame: straight to the data frame, or through RTS/CTS at or above the
+// threshold. The node's other countdowns freeze for the duration — an
+// EDCAF senses its own transmission as a busy medium.
+func (nd *Node) transmit(q *acQueue) {
+	q.contending = false
+	nd.freezeBackoff()
 	nd.transmitting = true
-	pkt := nd.queue[0]
-	rx := pkt.flow.dest()
+	pkt := q.queue[0]
+	nd.curPkt = pkt
+	rx := pkt.dest(nd)
 	mode := nd.dataMode(rx)
-	nd.net.attempts++
+	nd.net.attempts[pkt.ac]++
 	if nd.net.useRts(pkt) {
 		nd.sendRts(pkt, rx, mode)
 		return
@@ -284,9 +411,13 @@ func (nd *Node) sendCts(rts *transmission, dataMode linkmodel.Mode) {
 		return
 	}
 	// A countdown armed since the RTS ended cannot have fired yet
-	// (SIFS < DIFS); freeze it for the reply.
+	// (SIFS < DIFS and every AIFS); freeze it for the reply. The CTS
+	// carries the PEER's packet, not one of ours: curPkt stays nil so a
+	// roam handoff during the CTS airtime cannot mistake our own queued
+	// head for an in-flight frame.
 	nd.freezeBackoff()
 	nd.transmitting = true
+	nd.curPkt = nil
 	nav := net.eng.Now() + net.ctsAirUs() + d.SIFSUs + net.airtimeUs(dataMode, rts.pkt.bytes)
 	tr := &transmission{kind: frameCts, tx: nd, rx: peer, pkt: rts.pkt,
 		mode: net.robustMode(), navUntilUs: nav, startUs: net.eng.Now()}
@@ -303,9 +434,8 @@ func (nd *Node) sendCts(rts *transmission, dataMode linkmodel.Mode) {
 		nd.setNav(nav)
 		// A packet that arrived while the CTS was on the air found the
 		// node transmitting and skipped startContention; pick it up now.
-		// The countdown sendCts froze resumes via tryResume at NAV end.
+		// The countdowns sendCts froze resume via tryResume at NAV end.
 		nd.recontend()
-		nd.tryResume()
 		net.eng.Schedule(d.SIFSUs, func() { peer.sendData(rts.pkt, nd, dataMode) })
 	})
 }
@@ -322,7 +452,9 @@ func (nd *Node) sendData(pkt *packet, rx *Node, mode linkmodel.Mode) {
 }
 
 // complete ends the data exchange: judge the frame, update the ARF
-// controller and windows, and contend for the next queued frame.
+// controller and windows, then contend for the next queued frames. A
+// via-AP flow's first hop hands the packet to the AP's downlink queue
+// instead of recording a flow delivery.
 func (nd *Node) complete(tr *transmission) {
 	nd.med.finish(tr)
 	net := nd.net
@@ -334,14 +466,25 @@ func (nd *Node) complete(tr *transmission) {
 		return
 	}
 	nd.transmitting = false
-	net.delivered++
-	nd.queue = nd.queue[1:]
-	nd.cw = net.cfg.Dcf.CWMin
-	nd.retries = 0
+	nd.curPkt = nil
+	q := &nd.acq[tr.pkt.ac]
+	net.delivered[tr.pkt.ac]++
+	q.queue = q.queue[1:]
+	q.cw = q.params().CWMin
+	q.retries = 0
 	if net.cfg.Arf != nil {
 		nd.arfFor(tr.rx).OnSuccess()
 	}
-	tr.pkt.flow.delivered(tr.pkt, net.eng.Now())
+	f := tr.pkt.flow
+	if f.viaAP() && tr.rx.ap {
+		// Hand the packet to the destination's CURRENT AP (an ideal
+		// distribution system forwards between APs for free), so the
+		// downlink leg always rides the medium the destination is tuned
+		// to and roam handoff always finds relay packets at the right AP.
+		f.relayed(tr.pkt, f.To.bss.AP)
+	} else {
+		f.delivered(tr.pkt, net.eng.Now(), nd)
+	}
 	nd.recontend()
 }
 
@@ -354,21 +497,37 @@ func (nd *Node) complete(tr *transmission) {
 func (nd *Node) fail(tr *transmission) {
 	net := nd.net
 	nd.transmitting = false
+	nd.curPkt = nil
+	ac := tr.pkt.ac
 	if tr.interfered(mwFromDBm(net.noiseFloorDBm)) {
-		net.collisions++
+		net.collisions[ac]++
 	} else {
-		net.noiseLoss++
+		net.noiseLoss[ac]++
 	}
-	nd.retries++
-	if nd.retries > net.cfg.Dcf.RetryLimit {
+	q := &nd.acq[ac]
+	if to := tr.pkt.flow.To; nd.ap && to != nil && !to.ap && to.bss.AP != nd {
+		// The destination reassociated while this frame was in flight
+		// (the one packet handoffDownlink must leave mid-exchange):
+		// stop retrying from an AP the station no longer listens to and
+		// hand the frame to its current AP, as the roam handoff does
+		// for the rest of the queue.
+		q.queue = q.queue[1:]
+		q.cw = q.params().CWMin
+		q.retries = 0
+		to.bss.AP.enqueue(tr.pkt)
+		nd.recontend()
+		return
+	}
+	q.retries++
+	if q.retries > net.cfg.Dcf.RetryLimit {
 		// Abandon the frame and reset the window, as 802.11 does.
-		net.retryDrops++
-		nd.queue = nd.queue[1:]
-		nd.cw = net.cfg.Dcf.CWMin
-		nd.retries = 0
-		tr.pkt.flow.dropped()
+		net.retryDrops[ac]++
+		q.queue = q.queue[1:]
+		q.cw = q.params().CWMin
+		q.retries = 0
+		tr.pkt.flow.dropped(nd)
 	} else {
-		nd.cw = min(2*nd.cw+1, net.cfg.Dcf.CWMax)
+		q.cw = min(2*q.cw+1, q.params().CWMax)
 	}
 	nd.recontend()
 }

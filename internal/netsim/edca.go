@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mac"
+)
+
+// AC aliases mac.AccessCategory so FlowSpec and the per-AC tables use
+// the same four categories as the MAC-layer presets.
+type AC = mac.AccessCategory
+
+const (
+	AC_BK = mac.AC_BK
+	AC_BE = mac.AC_BE
+	AC_VI = mac.AC_VI
+	AC_VO = mac.AC_VO
+	// NumACs sizes per-AC tables (queues, counters, EdcaParams).
+	NumACs = mac.NumACs
+)
+
+// AcParams is one access category's channel-access parameter set as
+// netsim consumes it: the AIFS already resolved to microseconds, the
+// contention window bounds, and the transmit-queue depth for that
+// category.
+type AcParams struct {
+	AifsUs     float64
+	CWMin      int
+	CWMax      int
+	QueueLimit int
+}
+
+// EdcaParams is the per-AC parameter table carried on Config.Edca,
+// indexed by AC. A nil table on Config means legacy single-class DCF:
+// every flow is coerced into AC_BE and contends with DIFS/CWMin/CWMax
+// from Config.Dcf, which reproduces pre-EDCA results exactly.
+type EdcaParams [NumACs]AcParams
+
+// DefaultEdca resolves the 802.11e default parameter sets
+// (mac.Dot11eEdca) against the given DCF timing, giving every category
+// the same queue depth.
+func DefaultEdca(d mac.DcfConfig, queueLimit int) EdcaParams {
+	tbl := mac.Dot11eEdca(d)
+	var out EdcaParams
+	for ac := range out {
+		p := tbl[ac]
+		out[ac] = AcParams{
+			AifsUs:     d.SIFSUs + float64(p.AIFSN)*d.SlotUs,
+			CWMin:      p.CWMin,
+			CWMax:      p.CWMax,
+			QueueLimit: queueLimit,
+		}
+	}
+	return out
+}
+
+// legacyEdca fills every category with the plain DCF parameters; with
+// all flows coerced into AC_BE this is exactly the single-queue model.
+func legacyEdca(cfg Config) EdcaParams {
+	one := AcParams{
+		AifsUs:     cfg.Dcf.DIFSUs,
+		CWMin:      cfg.Dcf.CWMin,
+		CWMax:      cfg.Dcf.CWMax,
+		QueueLimit: cfg.QueueLimit,
+	}
+	var out EdcaParams
+	for ac := range out {
+		out[ac] = one
+	}
+	return out
+}
+
+// validate panics when an AC's parameters cannot drive contention.
+func (e EdcaParams) validate() {
+	for ac, p := range e {
+		name := AC(ac).String()
+		if math.IsNaN(p.AifsUs) || math.IsInf(p.AifsUs, 0) || p.AifsUs <= 0 {
+			panic(fmt.Sprintf("netsim: Edca[%s].AifsUs must be positive and finite, got %v", name, p.AifsUs))
+		}
+		if p.CWMin < 0 || p.CWMax < p.CWMin {
+			panic(fmt.Sprintf("netsim: Edca[%s] window [%d,%d] is not a valid CW range", name, p.CWMin, p.CWMax))
+		}
+		if p.QueueLimit <= 0 {
+			panic(fmt.Sprintf("netsim: Edca[%s].QueueLimit must be positive, got %d", name, p.QueueLimit))
+		}
+	}
+}

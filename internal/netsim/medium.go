@@ -189,17 +189,18 @@ func (m *medium) remove(nd *Node) {
 	}
 }
 
-// succeeds judges the finished frame: half-duplex conflicts always
-// fail; otherwise the worst-overlap SINR is pushed through the mode's
-// AWGN PER curve and a Bernoulli draw decides. A strong frame can
-// survive a weak overlap — the capture effect — because its SINR stays
-// above the waterfall. A CTS is never judged: the RTS it answers
-// already proved the link, and protocol responses are not re-drawn.
+// succeeds judges the finished frame: half-duplex conflicts and
+// receivers that left the channel mid-frame always fail; otherwise the
+// worst-overlap SINR is pushed through the mode's AWGN PER curve and a
+// Bernoulli draw decides. A strong frame can survive a weak overlap —
+// the capture effect — because its SINR stays above the waterfall. A
+// CTS is never judged: the RTS it answers already proved the link, and
+// protocol responses are not re-drawn.
 func (m *medium) succeeds(tr *transmission) bool {
 	if tr.kind == frameCts {
 		return true
 	}
-	if tr.doomed {
+	if tr.doomed || tr.rx.med != m {
 		return false
 	}
 	sigMw := mwFromDBm(m.net.rxPowerDBm(tr.tx, tr.rx))

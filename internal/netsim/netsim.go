@@ -17,9 +17,17 @@
 //
 // The package exposes three levels:
 //
-//   - Network: build nodes/BSSs/flows by hand, then Run.
-//   - Scenario presets (DenseGrid, TrafficMix, HiddenPair): canned
-//     topologies used by experiments E22/E23 and cmd/netsim.
+//   - Network: build nodes/BSSs by hand, attach traffic with
+//     Add(FlowSpec{From, To, AC, Gen}) — uplink, downlink (AP→STA,
+//     with the queue handed off between APs when the station roams),
+//     or STA↔STA relayed through the AP — then Run. With Config.Edca
+//     set, each node contends per 802.11e access category
+//     (AC_VO/AC_VI/AC_BE/AC_BK), internal ties resolving by the
+//     virtual-collision rule; with it nil, every flow is coerced into
+//     AC_BE under plain DCF timing.
+//   - Scenario presets (DenseGrid, TrafficMix, HiddenPair, roaming
+//     walks and their downlink variants): canned topologies used by
+//     experiments E22–E25 and cmd/netsim.
 //   - ScenarioRunner: fan independent seeds/scenarios across a worker
 //     pool; every job builds its own Network and rng.Source, so runs
 //     are bit-for-bit reproducible and race-free.
@@ -53,9 +61,19 @@ type Config struct {
 	// from each other.
 	CSThresholdDBm float64
 
-	// QueueLimit bounds each node's transmit queue; arrivals beyond it
-	// are dropped (drop-tail).
+	// QueueLimit bounds each node's per-category transmit queue;
+	// arrivals beyond it are dropped (drop-tail). With Edca set, each
+	// category's own QueueLimit applies instead.
 	QueueLimit int
+
+	// Edca, when non-nil, enables 802.11e per-access-category channel
+	// access: every node contends with one queue per AC, using that
+	// category's AIFS/CWmin/CWmax/QueueLimit from this table, and a
+	// node's own same-slot ties resolve by the virtual-collision rule
+	// (highest AC wins, losers retry as if collided). Nil means legacy
+	// single-class DCF: every flow is coerced into AC_BE with
+	// DIFS/CWMin/CWMax from Dcf, reproducing pre-EDCA results exactly.
+	Edca *EdcaParams
 
 	// RtsThresholdBytes enables the RTS/CTS exchange for data frames of
 	// at least this many payload bytes. 1 protects everything; 0 or
@@ -88,7 +106,9 @@ type Config struct {
 }
 
 // DefaultConfig is an 802.11a/g network: OFDM 6-54 Mbps rates, 2.4 GHz
-// TGn path loss, 15 dBm clients, -82 dBm carrier sense.
+// TGn path loss, 15 dBm clients, -82 dBm carrier sense, legacy DCF
+// (set Edca — e.g. to DefaultEdca(cfg.Dcf, cfg.QueueLimit) — for
+// 802.11e access categories).
 func DefaultConfig() Config {
 	return Config{
 		Dcf:              mac.Dot11agDcf(),
@@ -103,6 +123,37 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate panics with a clear message when the configuration cannot
+// drive a simulation — an empty rate table, non-positive MAC timing, or
+// a malformed EDCA table. New calls it after filling defaults, so every
+// Network is validated; scenario builders may also call it early to
+// surface errors before jobs fan out.
+func (c Config) Validate() {
+	if len(c.Modes) == 0 {
+		panic("netsim: Config.Modes is empty")
+	}
+	checkPositive("Config.Dcf", "SlotUs", c.Dcf.SlotUs)
+	checkPositive("Config.Dcf", "SIFSUs", c.Dcf.SIFSUs)
+	checkPositive("Config.Dcf", "DIFSUs", c.Dcf.DIFSUs)
+	if c.Dcf.CWMin < 0 || c.Dcf.CWMax < c.Dcf.CWMin {
+		panic(fmt.Sprintf("netsim: Config.Dcf window [%d,%d] is not a valid CW range",
+			c.Dcf.CWMin, c.Dcf.CWMax))
+	}
+	if c.QueueLimit <= 0 {
+		panic(fmt.Sprintf("netsim: Config.QueueLimit must be positive, got %d", c.QueueLimit))
+	}
+	if c.RtsThresholdBytes > 0 {
+		checkPositive("Config", "RtsUs", c.RtsUs)
+		checkPositive("Config", "CtsUs", c.CtsUs)
+	}
+	if c.RoamIntervalUs < 0 || math.IsNaN(c.RoamIntervalUs) {
+		panic(fmt.Sprintf("netsim: Config.RoamIntervalUs must not be negative, got %v", c.RoamIntervalUs))
+	}
+	if c.Edca != nil {
+		c.Edca.validate()
+	}
+}
+
 // BSS is one basic service set: an AP and its associated stations on a
 // fixed channel.
 type BSS struct {
@@ -110,8 +161,8 @@ type BSS struct {
 	Channel int
 }
 
-// Node is a station or AP. All MAC state (queue, backoff, carrier
-// sense) lives here; medium.go and dcf.go drive it.
+// Node is a station or AP. All MAC state (per-AC queues, backoff,
+// carrier sense, NAV) lives here; medium.go and dcf.go drive it.
 type Node struct {
 	net  *Network
 	id   int
@@ -124,16 +175,18 @@ type Node struct {
 	// vx, vy move the node (metres/second) on each roam scan tick.
 	vx, vy float64
 
-	// DCF state (see dcf.go).
-	queue        []*packet
-	cw           int
-	backoffSlots int
-	retries      int
-	contending   bool
+	// acq holds one EDCA transmit queue + contention state machine per
+	// access category (see dcf.go). Under legacy DCF only AC_BE is ever
+	// populated.
+	acq [NumACs]acQueue
+
+	// transmitting marks the node mid-exchange; curPkt is the queued
+	// frame that exchange is carrying (valid only while transmitting a
+	// frame of its own — downlink handoff uses it to leave the
+	// in-flight frame with the old AP).
 	transmitting bool
+	curPkt       *packet
 	busyCount    int
-	boEvent      *sim.Event
-	boStartUs    float64
 
 	// NAV (virtual carrier sense): contention defers until navUntilUs
 	// even when the medium measures idle — the mechanism that protects
@@ -147,17 +200,34 @@ type Node struct {
 	arf map[int]*mac.ArfController
 }
 
-// packet is one queued MAC frame.
+// packet is one queued MAC frame. ac is the effective access category
+// it is queued and judged under (AC_BE when EDCA is off).
 type packet struct {
 	flow      *Flow
 	bytes     int
 	arrivalUs float64
+	ac        AC
+}
+
+// dest resolves the packet's next-hop receiver for its current carrier:
+// an AP carries it on the final downlink hop, a station sends it either
+// to an explicitly pinned AP or to the AP it is currently associated
+// with (which is also the first hop of a STA↔STA relay).
+func (p *packet) dest(carrier *Node) *Node {
+	f := p.flow
+	if carrier.ap {
+		return f.To
+	}
+	if f.To != nil && f.To.ap {
+		return f.To
+	}
+	return carrier.bss.AP
 }
 
 // Network is one simulated deployment. Build it with AddAP / AddStation
-// / AddFlow, then call Run exactly once. A Network must be driven from
-// a single goroutine; for parallelism build one Network per goroutine
-// (see ScenarioRunner).
+// / Add(FlowSpec), then call Run exactly once. A Network must be driven
+// from a single goroutine; for parallelism build one Network per
+// goroutine (see ScenarioRunner).
 type Network struct {
 	cfg   Config
 	eng   sim.Engine
@@ -166,6 +236,12 @@ type Network struct {
 	bss   []*BSS
 	flows []*Flow
 	media []*medium
+
+	// edca is the effective per-AC parameter table: Config.Edca when
+	// set, otherwise the legacy table (plain DCF in every slot) with
+	// every flow coerced into AC_BE.
+	edca   EdcaParams
+	edcaOn bool
 
 	// rxDBm[i][j] is the received power at node j when node i
 	// transmits; shadowDB[i][j] is the symmetric per-pair shadowing
@@ -184,11 +260,12 @@ type Network struct {
 	// RTS/CTS control frames ride it.
 	robustIdx int
 
-	// run-level counters
-	attempts, delivered   int
-	collisions, noiseLoss int
-	retryDrops, queueDrop int
+	// run-level counters, per access category where the MAC knows one
+	attempts, delivered   [NumACs]int
+	collisions, noiseLoss [NumACs]int
+	retryDrops, queueDrop [NumACs]int
 	rtsSent, rtsFailed    int
+	virtualColl           int
 	roams                 int
 	modeAttempts          map[string]int // data-frame attempts per mode name
 }
@@ -200,12 +277,16 @@ func New(cfg Config, seed int64) *Network {
 	if cfg.QueueLimit <= 0 {
 		cfg.QueueLimit = 64
 	}
-	if len(cfg.Modes) == 0 {
-		panic("netsim: Config.Modes is empty")
-	}
+	cfg.Validate()
 	n := &Network{cfg: cfg, src: rng.New(seed), noiseFloorDBm: cfg.Budget.NoiseFloorDBm(),
 		modeCache:    make(map[[2]int]linkmodel.Mode),
 		modeAttempts: make(map[string]int)}
+	n.edcaOn = cfg.Edca != nil
+	if n.edcaOn {
+		n.edca = *cfg.Edca
+	} else {
+		n.edca = legacyEdca(cfg)
+	}
 	for i, m := range cfg.Modes {
 		if m.SnrReqDB < cfg.Modes[n.robustIdx].SnrReqDB {
 			n.robustIdx = i
@@ -253,7 +334,10 @@ func (n *Network) addNode(name string, x, y float64, ap bool) *Node {
 	if n.built {
 		panic("netsim: cannot add nodes after Run")
 	}
-	nd := &Node{net: n, id: len(n.nodes), Name: name, X: x, Y: y, ap: ap, cw: n.cfg.Dcf.CWMin}
+	nd := &Node{net: n, id: len(n.nodes), Name: name, X: x, Y: y, ap: ap}
+	for ac := range nd.acq {
+		nd.acq[ac] = acQueue{node: nd, ac: AC(ac), cw: n.edca[ac].CWMin}
+	}
 	n.nodes = append(n.nodes, nd)
 	return nd
 }
@@ -266,14 +350,76 @@ func (n *Network) SetVelocity(nd *Node, vxMps, vyMps float64) {
 	nd.vx, nd.vy = vxMps, vyMps
 }
 
-// AddFlow attaches a traffic source at from addressed to to. A nil to
-// means "the AP the sender is currently associated with", which keeps
-// uplink flows pointed at the right AP across roams. Generators with
-// internal state (OnOff) must not be shared between flows.
-func (n *Network) AddFlow(from, to *Node, gen TrafficGen) *Flow {
-	f := &Flow{net: n, From: from, To: to, Gen: gen}
+// FlowSpec describes one traffic stream for Network.Add.
+//
+//   - From is the injection node (required).
+//   - To is the destination. nil means "the AP the sender is currently
+//     associated with", which keeps uplink flows pointed at the right
+//     AP across roams. A station To with a station From is relayed
+//     through the AP (two MAC hops). An AP From with a station To is a
+//     downlink flow: it must start at the destination's AP, and its
+//     queued packets are handed off between APs when the destination
+//     roams.
+//   - AC is the 802.11e access category the flow's frames contend
+//     under. The zero value is AC_BK; pass an explicit category. With
+//     Config.Edca nil (legacy DCF) every flow is coerced into AC_BE.
+//   - Gen produces arrivals. Generators with internal state (OnOff)
+//     must not be shared between flows.
+type FlowSpec struct {
+	From *Node
+	To   *Node
+	AC   AC
+	Gen  TrafficGen
+}
+
+// Add attaches the traffic stream described by spec and returns its
+// Flow. It panics on specs the simulator cannot route (no From/Gen, an
+// out-of-range AC, AP→AP, downlink from an AP the destination is not
+// associated with).
+func (n *Network) Add(spec FlowSpec) *Flow {
+	if n.built {
+		panic("netsim: cannot add flows after Run")
+	}
+	if spec.From == nil {
+		panic("netsim: FlowSpec.From is nil")
+	}
+	if spec.Gen == nil {
+		panic("netsim: FlowSpec.Gen is nil")
+	}
+	if spec.AC < 0 || spec.AC >= NumACs {
+		panic(fmt.Sprintf("netsim: FlowSpec.AC %d out of range", int(spec.AC)))
+	}
+	if spec.From.ap {
+		if spec.To == nil {
+			panic("netsim: downlink FlowSpec needs an explicit To station")
+		}
+		if spec.To.ap {
+			panic("netsim: AP→AP flows are not supported")
+		}
+		if spec.To.bss == nil || spec.To.bss.AP != spec.From {
+			panic(fmt.Sprintf("netsim: downlink flow to %s must start at its AP, not %s",
+				spec.To.Name, spec.From.Name))
+		}
+	} else if spec.To == spec.From {
+		panic("netsim: FlowSpec.To equals From")
+	}
+	f := &Flow{net: n, From: spec.From, To: spec.To, AC: spec.AC, Gen: spec.Gen,
+		src: spec.From}
 	n.flows = append(n.flows, f)
 	return f
+}
+
+// AddFlow attaches a traffic source at from addressed to to.
+//
+// Deprecated: use Add with a FlowSpec — it names the direction
+// explicitly and carries the access category. AddFlow maps to
+// Add(FlowSpec{From: from, To: to, AC: AC_BE, Gen: gen}) and will be
+// removed after one release. Note one semantic change riding the
+// redesign: a station→station pair now relays through the AP (two MAC
+// hops, as infrastructure 802.11 does) — the old single-hop direct
+// transmission between stations is no longer modelled.
+func (n *Network) AddFlow(from, to *Node, gen TrafficGen) *Flow {
+	return n.Add(FlowSpec{From: from, To: to, AC: AC_BE, Gen: gen})
 }
 
 // dist returns the distance in metres between two nodes.
@@ -439,8 +585,10 @@ func (n *Network) roamScan() {
 }
 
 // reassociate moves the station to the new BSS, switching media when
-// the channel differs and recomputing its carrier-sense state.
+// the channel differs, recomputing its carrier-sense state, and handing
+// queued downlink packets from the old AP to the new one.
 func (nd *Node) reassociate(b *BSS) {
+	oldAp := nd.bss.AP
 	nd.freezeBackoff()
 	old := nd.med
 	next := nd.net.mediumFor(b.Channel)
@@ -465,6 +613,77 @@ func (nd *Node) reassociate(b *BSS) {
 		}
 	}
 	nd.tryResume()
+	nd.net.handoffDownlink(nd, oldAp, b.AP)
+}
+
+// handoffDownlink moves every packet addressed to the roamed station st
+// that is still queued at its old AP — downlink flows and the AP leg of
+// STA↔STA relays — into the new AP's queues, and repoints downlink
+// flows so future arrivals enqueue at the station's current AP. The one
+// frame the old AP may have on the air right now is left to finish its
+// exchange from there; everything else leaves, so no packet strands in
+// a queue the station no longer listens to.
+func (n *Network) handoffDownlink(st, oldAp, newAp *Node) {
+	if oldAp == newAp {
+		return
+	}
+	for ac := range oldAp.acq {
+		q := &oldAp.acq[ac]
+		var oldHead *packet
+		if len(q.queue) > 0 {
+			oldHead = q.queue[0]
+		}
+		var moved []*packet
+		kept := q.queue[:0]
+		for i, p := range q.queue {
+			inFlight := i == 0 && oldAp.transmitting && p == oldAp.curPkt
+			if !inFlight && p.flow.To == st {
+				moved = append(moved, p)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		q.queue = kept
+		if oldHead != nil && (len(q.queue) == 0 || q.queue[0] != oldHead) {
+			// The head-of-line frame left with the station: its retry
+			// count and doubled window must not be charged to whatever
+			// frame is next.
+			q.retries = 0
+			q.cw = q.params().CWMin
+		}
+		if q.contending && len(q.queue) == 0 {
+			// Nothing left to send: stand down rather than letting the
+			// countdown fire on an empty queue.
+			if q.boEvent != nil {
+				q.boEvent.Cancel()
+				q.boEvent = nil
+			}
+			q.contending = false
+		}
+		for _, p := range moved {
+			newAp.enqueue(p)
+		}
+	}
+	for _, f := range n.flows {
+		if f.From.ap && f.To == st {
+			f.src = newAp
+		}
+	}
+}
+
+// ACStats is one access category's slice of a Result: MAC-level frame
+// accounting for frames queued under the category, plus the end-to-end
+// delay distribution pooled over the category's flows.
+type ACStats struct {
+	Flows       int
+	Attempts    int // exchange attempts started (RTS or data)
+	Delivered   int // frames that passed the SINR draw (per MAC hop)
+	Collisions  int // failures with interference present
+	NoiseLosses int // failures on a clean channel
+	RetryDrops  int // frames abandoned past the retry limit
+	QueueDrops  int // arrivals lost to full queues
+	MeanDelayUs float64
+	P95DelayUs  float64
 }
 
 // Result is the outcome of one Network.Run.
@@ -480,7 +699,15 @@ type Result struct {
 	QueueDrops  int // arrivals lost to full queues
 	RtsAttempts int // exchanges opened with an RTS
 	RtsFailures int // RTSs that drew no CTS (collision or noise)
-	Roams       int
+	// VirtualCollisions counts internal EDCA arbitrations lost: a
+	// node's lower category expiring in the same slot as a higher one.
+	VirtualCollisions int
+	Roams             int
+
+	// PerAC breaks the MAC counters and the end-to-end delay
+	// distribution down by access category. Under legacy DCF every flow
+	// lands in AC_BE.
+	PerAC [NumACs]ACStats
 
 	// ModeAttempts counts data-frame attempts per rate-table mode name
 	// — the per-mode histogram that shows ARF walking the staircase.
@@ -493,17 +720,37 @@ type Result struct {
 
 func (n *Network) collect(durationUs float64) Result {
 	res := Result{
-		DurationUs: durationUs,
-		Attempts:   n.attempts, Delivered: n.delivered,
-		Collisions: n.collisions, NoiseLosses: n.noiseLoss,
-		RetryDrops: n.retryDrops, QueueDrops: n.queueDrop,
+		DurationUs:  durationUs,
 		RtsAttempts: n.rtsSent, RtsFailures: n.rtsFailed,
-		Roams: n.roams, ModeAttempts: n.modeAttempts,
+		VirtualCollisions: n.virtualColl,
+		Roams:             n.roams, ModeAttempts: n.modeAttempts,
+	}
+	var delaysByAC [NumACs][]float64
+	for ac := 0; ac < int(NumACs); ac++ {
+		res.PerAC[ac] = ACStats{
+			Attempts: n.attempts[ac], Delivered: n.delivered[ac],
+			Collisions: n.collisions[ac], NoiseLosses: n.noiseLoss[ac],
+			RetryDrops: n.retryDrops[ac], QueueDrops: n.queueDrop[ac],
+		}
+		res.Attempts += n.attempts[ac]
+		res.Delivered += n.delivered[ac]
+		res.Collisions += n.collisions[ac]
+		res.NoiseLosses += n.noiseLoss[ac]
+		res.RetryDrops += n.retryDrops[ac]
+		res.QueueDrops += n.queueDrop[ac]
 	}
 	for _, f := range n.flows {
 		fs := f.stats(durationUs)
 		res.Flows = append(res.Flows, fs)
 		res.AggGoodputMbps += fs.GoodputMbps
+		res.PerAC[f.ac].Flows++
+		delaysByAC[f.ac] = append(delaysByAC[f.ac], f.delaysUs...)
+	}
+	for ac := range delaysByAC {
+		if d := delaysByAC[ac]; len(d) > 0 {
+			res.PerAC[ac].MeanDelayUs = mathx.Mean(d)
+			res.PerAC[ac].P95DelayUs = mathx.Percentile(d, 95)
+		}
 	}
 	for _, m := range n.media {
 		busy := m.busyUs

@@ -200,17 +200,17 @@ func TestNavDefersContentionOnIdleMedium(t *testing.T) {
 	n.build()
 
 	st.setNav(5000)
-	st.enqueue(&packet{flow: fl, bytes: 400, arrivalUs: 0})
+	st.enqueue(&packet{flow: fl, bytes: 400, arrivalUs: 0, ac: AC_BE})
 	n.eng.Run(4999)
-	if n.attempts != 0 {
-		t.Fatalf("station transmitted %d times during its NAV on an idle medium", n.attempts)
+	if n.attempts[AC_BE] != 0 {
+		t.Fatalf("station transmitted %d times during its NAV on an idle medium", n.attempts[AC_BE])
 	}
-	if !st.contending || st.boEvent != nil {
-		t.Fatalf("station should be contending with the countdown parked: %+v", st)
+	if q := &st.acq[AC_BE]; !q.contending || q.boEvent != nil {
+		t.Fatalf("station should be contending with the countdown parked: %+v", q)
 	}
 	n.eng.Run(20000)
-	if n.attempts != 1 || n.delivered != 1 {
-		t.Fatalf("after NAV expiry: attempts %d delivered %d, want 1/1", n.attempts, n.delivered)
+	if n.attempts[AC_BE] != 1 || n.delivered[AC_BE] != 1 {
+		t.Fatalf("after NAV expiry: attempts %d delivered %d, want 1/1", n.attempts[AC_BE], n.delivered[AC_BE])
 	}
 }
 

@@ -5,9 +5,22 @@ import (
 	"math"
 )
 
-// Scenario presets shared by experiments E22/E23, cmd/netsim, and the
+// Scenario presets shared by experiments E22-E25, cmd/netsim, and the
 // benchmarks. Each returns a builder closure so the ScenarioRunner can
-// instantiate one fresh, independently-seeded Network per job.
+// instantiate one fresh, independently-seeded Network per job. Every
+// preset validates its shape eagerly — at preset-construction time, not
+// inside the closure — so a nonsensical topology panics before jobs fan
+// out across workers.
+
+// checkCount panics unless v >= minimum — the integer counterpart of
+// traffic.go's checkPositive, used to reject nonsensical topology
+// counts with a clear message instead of an index/modulo error deep in
+// the builder.
+func checkCount(scenario, field string, v, minimum int) {
+	if v < minimum {
+		panic(fmt.Sprintf("netsim: %s.%s must be at least %d, got %d", scenario, field, minimum, v))
+	}
+}
 
 // DenseGrid lays nBSS APs on a square-ish grid with the given spacing
 // and channel assignment (channels[i%len] for BSS i), surrounds each AP
@@ -16,6 +29,11 @@ import (
 // one collision domain; with three channels it is the classic 1/6/11
 // reuse pattern.
 func DenseGrid(cfg Config, nBSS, staPerBSS int, channels []int, spacingM float64, payloadBytes int) func(seed int64) *Network {
+	checkCount("DenseGrid", "nBSS", nBSS, 1)
+	checkCount("DenseGrid", "staPerBSS", staPerBSS, 1)
+	checkCount("DenseGrid", "len(channels)", len(channels), 1)
+	checkPositive("DenseGrid", "spacingM", spacingM)
+	checkCount("DenseGrid", "payloadBytes", payloadBytes, 1)
 	return func(seed int64) *Network {
 		n := New(cfg, seed)
 		cols := int(math.Ceil(math.Sqrt(float64(nBSS))))
@@ -31,39 +49,97 @@ func DenseGrid(cfg Config, nBSS, staPerBSS int, channels []int, spacingM float64
 				r := 3 + 7*n.Src().Float64()
 				st := n.AddStation(b, fmt.Sprintf("sta%d.%d", i, s),
 					x+r*math.Cos(ang), y+r*math.Sin(ang))
-				n.AddFlow(st, nil, Saturated{PayloadBytes: payloadBytes})
+				n.Add(FlowSpec{From: st, AC: AC_BE, Gen: Saturated{PayloadBytes: payloadBytes}})
 			}
 		}
 		return n
 	}
 }
 
-// TrafficMix is the E23 workload: one BSS carrying voice-like CBR
-// flows, Poisson data flows whose rate sweeps the offered load, and
-// bursty on/off background. dataMbpsEach is the mean offered load per
-// data flow.
+// mixStation places one station for a traffic-mix scenario on a
+// jittered ring around the BSS's AP.
+func mixStation(n *Network, b *BSS, kind string, i int) *Node {
+	ang := n.Src().Float64() * 2 * math.Pi
+	r := 3 + 7*n.Src().Float64()
+	return n.AddStation(b, fmt.Sprintf("%s%d", kind, i),
+		r*math.Cos(ang), r*math.Sin(ang))
+}
+
+// mixGens returns the three traffic classes of the E23/E25 mix with
+// their access categories: voice-like CBR (160 B / 20 ms ≈ a G.711
+// stream) in AC_VO, Poisson data at dataMbpsEach in AC_BE, and bursty
+// on/off background in AC_BK. Under legacy DCF (Config.Edca nil) the
+// categories are coerced to AC_BE at run time, reproducing the plain
+// single-queue mix.
+func mixGens(dataMbpsEach float64) (voice func() TrafficGen, voiceAC AC, data func() TrafficGen, dataAC AC, burst func() TrafficGen, burstAC AC) {
+	voice = func() TrafficGen { return CBR{PayloadBytes: 160, IntervalUs: 20000} }
+	data = func() TrafficGen {
+		return Poisson{PayloadBytes: 1200, PktPerSec: dataMbpsEach * 1e6 / (8 * 1200)}
+	}
+	burst = func() TrafficGen {
+		return &OnOff{PayloadBytes: 1200, IntervalUs: 2000, OnMeanUs: 50000, OffMeanUs: 200000}
+	}
+	return voice, AC_VO, data, AC_BE, burst, AC_BK
+}
+
+func checkMix(scenario string, nVoice, nData, nBurst int, dataMbpsEach float64) {
+	checkCount(scenario, "nVoice", nVoice, 0)
+	checkCount(scenario, "nData", nData, 0)
+	checkCount(scenario, "nBurst", nBurst, 0)
+	checkCount(scenario, "nVoice+nData+nBurst", nVoice+nData+nBurst, 1)
+	if nData > 0 {
+		checkPositive(scenario, "dataMbpsEach", dataMbpsEach)
+	}
+}
+
+// TrafficMix is the E23/E25 workload: one BSS carrying voice-like CBR
+// flows (AC_VO), Poisson data flows whose rate sweeps the offered load
+// (AC_BE), and bursty on/off background (AC_BK). dataMbpsEach is the
+// mean offered load per data flow. All flows are uplink; see
+// TrafficMixDownlink for the AP-sourced mirror.
 func TrafficMix(cfg Config, nVoice, nData, nBurst int, dataMbpsEach float64) func(seed int64) *Network {
+	checkMix("TrafficMix", nVoice, nData, nBurst, dataMbpsEach)
+	voice, voiceAC, data, dataAC, burst, burstAC := mixGens(dataMbpsEach)
 	return func(seed int64) *Network {
 		n := New(cfg, seed)
 		b := n.AddAP("AP", 0, 0, 1)
-		add := func(kind string, i int, gen TrafficGen) {
-			ang := n.Src().Float64() * 2 * math.Pi
-			r := 3 + 7*n.Src().Float64()
-			st := n.AddStation(b, fmt.Sprintf("%s%d", kind, i),
-				r*math.Cos(ang), r*math.Sin(ang))
-			n.AddFlow(st, nil, gen)
-		}
 		for i := 0; i < nVoice; i++ {
-			// 160 B every 20 ms ≈ a G.711 voice frame stream.
-			add("voice", i, CBR{PayloadBytes: 160, IntervalUs: 20000})
+			st := mixStation(n, b, "voice", i)
+			n.Add(FlowSpec{From: st, AC: voiceAC, Gen: voice()})
 		}
 		for i := 0; i < nData; i++ {
-			pktPerSec := dataMbpsEach * 1e6 / (8 * 1200)
-			add("data", i, Poisson{PayloadBytes: 1200, PktPerSec: pktPerSec})
+			st := mixStation(n, b, "data", i)
+			n.Add(FlowSpec{From: st, AC: dataAC, Gen: data()})
 		}
 		for i := 0; i < nBurst; i++ {
-			add("burst", i, &OnOff{PayloadBytes: 1200, IntervalUs: 2000,
-				OnMeanUs: 50000, OffMeanUs: 200000})
+			st := mixStation(n, b, "burst", i)
+			n.Add(FlowSpec{From: st, AC: burstAC, Gen: burst()})
+		}
+		return n
+	}
+}
+
+// TrafficMixDownlink mirrors TrafficMix with every flow sourced at the
+// AP (AP→STA): voice, data, and background all ride the AP's per-AC
+// queues, so EDCA's internal virtual-collision arbitration — not just
+// inter-station contention — differentiates the classes.
+func TrafficMixDownlink(cfg Config, nVoice, nData, nBurst int, dataMbpsEach float64) func(seed int64) *Network {
+	checkMix("TrafficMixDownlink", nVoice, nData, nBurst, dataMbpsEach)
+	voice, voiceAC, data, dataAC, burst, burstAC := mixGens(dataMbpsEach)
+	return func(seed int64) *Network {
+		n := New(cfg, seed)
+		b := n.AddAP("AP", 0, 0, 1)
+		for i := 0; i < nVoice; i++ {
+			st := mixStation(n, b, "voice", i)
+			n.Add(FlowSpec{From: b.AP, To: st, AC: voiceAC, Gen: voice()})
+		}
+		for i := 0; i < nData; i++ {
+			st := mixStation(n, b, "data", i)
+			n.Add(FlowSpec{From: b.AP, To: st, AC: dataAC, Gen: data()})
+		}
+		for i := 0; i < nBurst; i++ {
+			st := mixStation(n, b, "burst", i)
+			n.Add(FlowSpec{From: b.AP, To: st, AC: burstAC, Gen: burst()})
 		}
 		return n
 	}
@@ -73,13 +149,15 @@ func TrafficMix(cfg Config, nVoice, nData, nBurst int, dataMbpsEach float64) fun
 // apart that they cannot carrier-sense each other but still inside the
 // AP's decode range: the textbook hidden-terminal topology.
 func HiddenPair(cfg Config, separationM float64, payloadBytes int) func(seed int64) *Network {
+	checkPositive("HiddenPair", "separationM", separationM)
+	checkCount("HiddenPair", "payloadBytes", payloadBytes, 1)
 	return func(seed int64) *Network {
 		n := New(cfg, seed)
 		b := n.AddAP("AP", 0, 0, 1)
 		a := n.AddStation(b, "staA", -separationM/2, 0)
 		c := n.AddStation(b, "staB", separationM/2, 0)
-		n.AddFlow(a, nil, Saturated{PayloadBytes: payloadBytes})
-		n.AddFlow(c, nil, Saturated{PayloadBytes: payloadBytes})
+		n.Add(FlowSpec{From: a, AC: AC_BE, Gen: Saturated{PayloadBytes: payloadBytes}})
+		n.Add(FlowSpec{From: c, AC: AC_BE, Gen: Saturated{PayloadBytes: payloadBytes}})
 		return n
 	}
 }
@@ -98,13 +176,33 @@ func HiddenPairRtsCts(cfg Config, separationM float64, payloadBytes int) func(se
 // station walking from the first toward the second while streaming CBR
 // uplink — the strongest-signal reassociation demo.
 func RoamingWalk(cfg Config, apDistM, speedMps float64) func(seed int64) *Network {
+	checkPositive("RoamingWalk", "apDistM", apDistM)
+	checkPositive("RoamingWalk", "speedMps", speedMps)
 	return func(seed int64) *Network {
 		n := New(cfg, seed)
 		b1 := n.AddAP("AP1", 0, 0, 1)
 		n.AddAP("AP2", apDistM, 0, 1)
 		st := n.AddStation(b1, "walker", 5, 0)
 		n.SetVelocity(st, speedMps, 0)
-		n.AddFlow(st, nil, CBR{PayloadBytes: 800, IntervalUs: 4000})
+		n.Add(FlowSpec{From: st, AC: AC_BE, Gen: CBR{PayloadBytes: 800, IntervalUs: 4000}})
+		return n
+	}
+}
+
+// RoamingWalkDownlink is RoamingWalk with the CBR stream reversed: AP1
+// sends voice-class downlink to the walker, and the queued packets are
+// handed off to AP2 when the walker reassociates — the queue follows
+// the station.
+func RoamingWalkDownlink(cfg Config, apDistM, speedMps float64) func(seed int64) *Network {
+	checkPositive("RoamingWalkDownlink", "apDistM", apDistM)
+	checkPositive("RoamingWalkDownlink", "speedMps", speedMps)
+	return func(seed int64) *Network {
+		n := New(cfg, seed)
+		b1 := n.AddAP("AP1", 0, 0, 1)
+		n.AddAP("AP2", apDistM, 0, 1)
+		st := n.AddStation(b1, "walker", 5, 0)
+		n.SetVelocity(st, speedMps, 0)
+		n.Add(FlowSpec{From: b1.AP, To: st, AC: AC_VO, Gen: CBR{PayloadBytes: 800, IntervalUs: 4000}})
 		return n
 	}
 }

@@ -1,20 +1,26 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
 
 // FlowStats is one flow's share of a Result.
 type FlowStats struct {
-	Label string // "sta3→AP cbr"
+	Label string // "sta3→AP cbr/AC_VO"
 	Class string // generator label, for grouping in reports
+	AC    AC     // effective access category (AC_BE under legacy DCF)
 
 	Arrivals   int
 	Delivered  int
-	QueueDrops int // lost to a full transmit queue
-	RetryDrops int // abandoned past the MAC retry limit
+	QueueDrops int // lost to a full transmit queue (any hop)
+	RetryDrops int // abandoned past the MAC retry limit (any hop)
 
 	GoodputMbps float64
-	MeanDelayUs float64 // arrival to end of successful exchange
+	MeanDelayUs float64 // arrival to end of final successful exchange
 	MaxDelayUs  float64
+	P95DelayUs  float64 // 95th percentile of end-to-end delay
 	JitterUs    float64 // RFC 3550 smoothed delay variation
 }
 
@@ -33,18 +39,20 @@ func (f *Flow) stats(durationUs float64) FlowStats {
 		to = f.To.Name
 	}
 	s := FlowStats{
-		Label:      fmt.Sprintf("%s→%s %s", f.From.Name, to, f.Gen.Label()),
+		Label:      fmt.Sprintf("%s→%s %s/%s", f.From.Name, to, f.Gen.Label(), f.ac),
 		Class:      f.Gen.Label(),
+		AC:         f.ac,
 		Arrivals:   f.arrivals,
 		Delivered:  f.deliveredN,
 		QueueDrops: f.queueDrops,
 		RetryDrops: f.lineDrops,
-		MaxDelayUs: f.maxDelayUs,
 		JitterUs:   f.jitterUs,
 	}
 	s.GoodputMbps = float64(8*f.bytesDelivered) / durationUs
-	if f.deliveredN > 0 {
-		s.MeanDelayUs = f.sumDelayUs / float64(f.deliveredN)
+	if len(f.delaysUs) > 0 {
+		s.MeanDelayUs = mathx.Mean(f.delaysUs)
+		_, s.MaxDelayUs = mathx.MinMax(f.delaysUs)
+		s.P95DelayUs = mathx.Percentile(f.delaysUs, 95)
 	}
 	return s
 }

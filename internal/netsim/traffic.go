@@ -123,35 +123,47 @@ func (o *OnOff) nextGapUs(src *rng.Source) float64 {
 	return gap
 }
 
-// Flow is one traffic stream from a node to a destination (nil To =
-// the sender's current AP, so uplink flows follow roams).
+// Flow is one traffic stream described by a FlowSpec: From → To (nil
+// To = the sender's current AP, so uplink flows follow roams), queued
+// under access category AC.
 type Flow struct {
 	net  *Network
 	From *Node
 	To   *Node
+	AC   AC
 	Gen  TrafficGen
 
-	arrivals, deliveredN   int
-	queueDrops, lineDrops  int
-	bytesDelivered         int
-	sumDelayUs, maxDelayUs float64
-	jitterUs               float64 // RFC 3550 smoothed interarrival jitter
-	lastDelayUs            float64
-	hasLast                bool
-	saturated              bool
+	// ac is the effective category frames contend under: AC when EDCA
+	// is on, AC_BE under legacy DCF. src is the current injection node
+	// — From, except for downlink flows, where handoffDownlink repoints
+	// it at the destination's AP as the station roams.
+	ac  AC
+	src *Node
+
+	arrivals, deliveredN  int
+	queueDrops, lineDrops int
+	bytesDelivered        int
+	delaysUs              []float64 // end-to-end delay samples (mean/max/p95)
+	jitterUs              float64   // RFC 3550 smoothed interarrival jitter
+	lastDelayUs           float64
+	hasLast               bool
+	saturated             bool
 }
 
-// dest resolves the flow's receiver at transmit time.
-func (f *Flow) dest() *Node {
-	if f.To != nil {
-		return f.To
-	}
-	return f.From.bss.AP
+// viaAP reports whether the flow is a STA↔STA stream relayed through
+// the AP (two MAC hops: From→AP, then AP→To).
+func (f *Flow) viaAP() bool {
+	return !f.From.ap && f.To != nil && !f.To.ap
 }
 
-// start validates the generator and seeds the arrival process.
+// start validates the generator, resolves the effective access
+// category, and seeds the arrival process.
 func (f *Flow) start() {
 	f.Gen.validate()
+	f.ac = f.AC
+	if !f.net.edcaOn {
+		f.ac = AC_BE
+	}
 	if f.Gen.isSaturated() {
 		f.saturated = true
 		f.arrive()
@@ -160,29 +172,46 @@ func (f *Flow) start() {
 	f.net.eng.Schedule(f.Gen.firstGapUs(f.net.src), f.arrive)
 }
 
-// arrive enqueues one packet and, for timed generators, schedules the
-// next arrival.
+// arrive enqueues one packet at the flow's injection node and, for
+// timed generators, schedules the next arrival. A full queue charges
+// the flow's drop counter from inside enqueue.
 func (f *Flow) arrive() {
 	f.arrivals++
-	p := &packet{flow: f, bytes: f.Gen.Bytes(), arrivalUs: f.net.eng.Now()}
-	if !f.From.enqueue(p) {
-		f.queueDrops++
-	}
+	p := &packet{flow: f, bytes: f.Gen.Bytes(), arrivalUs: f.net.eng.Now(), ac: f.ac}
+	f.src.enqueue(p)
 	if f.saturated {
 		return
 	}
 	f.net.eng.Schedule(f.Gen.nextGapUs(f.net.src), f.arrive)
 }
 
-// delivered records a successful frame and refills saturated flows.
-func (f *Flow) delivered(p *packet, nowUs float64) {
+// refill tops a saturated flow back up after its packet left the source
+// queue. tx is the node whose queue the packet just departed: the relay
+// leg of a via-AP flow already refilled when the source handed the
+// packet to the AP, so the AP-side departure must not refill again.
+func (f *Flow) refill(tx *Node) {
+	if f.saturated && !(f.viaAP() && tx.ap) {
+		f.arrive()
+	}
+}
+
+// relayed hands a via-AP flow's packet from its first hop to the AP's
+// queue toward the final destination, preserving the arrival timestamp
+// so delay stays end-to-end. A full AP queue drops it there.
+func (f *Flow) relayed(p *packet, ap *Node) {
+	ap.enqueue(p)
+	if f.saturated {
+		f.arrive()
+	}
+}
+
+// delivered records a successful final-hop frame and refills saturated
+// flows. tx is the transmitting node of the final hop.
+func (f *Flow) delivered(p *packet, nowUs float64, tx *Node) {
 	f.deliveredN++
 	f.bytesDelivered += p.bytes
 	d := nowUs - p.arrivalUs
-	f.sumDelayUs += d
-	if d > f.maxDelayUs {
-		f.maxDelayUs = d
-	}
+	f.delaysUs = append(f.delaysUs, d)
 	if f.hasLast {
 		diff := d - f.lastDelayUs
 		if diff < 0 {
@@ -191,15 +220,11 @@ func (f *Flow) delivered(p *packet, nowUs float64) {
 		f.jitterUs += (diff - f.jitterUs) / 16
 	}
 	f.lastDelayUs, f.hasLast = d, true
-	if f.saturated {
-		f.arrive()
-	}
+	f.refill(tx)
 }
 
-// dropped records a retry-limit drop and refills saturated flows.
-func (f *Flow) dropped() {
+// dropped records a retry-limit drop at tx and refills saturated flows.
+func (f *Flow) dropped(tx *Node) {
 	f.lineDrops++
-	if f.saturated {
-		f.arrive()
-	}
+	f.refill(tx)
 }
