@@ -60,11 +60,13 @@ func BenchmarkE19Anomaly(b *testing.B)        { benchExperiment(b, "E19") }
 func BenchmarkE20EnergyPerBit(b *testing.B)   { benchExperiment(b, "E20") }
 func BenchmarkE21Coexistence(b *testing.B)    { benchExperiment(b, "E21") }
 
-// E22-E25 exercise the packet-level netsim hot path: the discrete-event
+// E22-E26 exercise the packet-level netsim hot path: the discrete-event
 // loop plus per-transmission medium arbitration (carrier sense,
-// interference crossing, SINR judgment) and, in E25, per-AC EDCA
-// contention.
+// interference crossing, SINR judgment), per-AC EDCA contention in E25,
+// and the TXOP exchange builder with per-MPDU Block-ACK judgment in
+// E26.
 func BenchmarkE22NetSim(b *testing.B)     { benchExperiment(b, "E22") }
 func BenchmarkE23TrafficMix(b *testing.B) { benchExperiment(b, "E23") }
 func BenchmarkE24RtsCtsArf(b *testing.B)  { benchExperiment(b, "E24") }
 func BenchmarkE25EdcaQos(b *testing.B)    { benchExperiment(b, "E25") }
+func BenchmarkE26Ampdu(b *testing.B)      { benchExperiment(b, "E26") }

@@ -1,14 +1,23 @@
 // Command benchjson converts `go test -bench` text output into a JSON
-// artifact so CI can accumulate a per-PR performance trajectory.
+// artifact so CI can accumulate a per-PR performance trajectory, and
+// compares a fresh run against a committed baseline.
 //
 //	go test -run='^$' -bench=. -benchtime=1x ./... | tee bench.txt
 //	benchjson -in bench.txt -out BENCH_netsim.json
+//	benchjson -in bench.txt -baseline BENCH_netsim.json -warn-pct 30
 //
 // The output is a single JSON object with the parse timestamp left to
 // the consumer (CI records it) and one entry per benchmark:
 //
 //	{"benchmarks": [{"name": "BenchmarkE22NetSim-8", "iterations": 1,
 //	  "ns_per_op": 123456, "bytes_per_op": 789, "allocs_per_op": 12}, ...]}
+//
+// With -baseline, every benchmark present in both runs is compared by
+// ns/op (names matched with the -GOMAXPROCS suffix stripped, so runs
+// from different machines line up) and regressions beyond -warn-pct are
+// printed as GitHub "::warning::" annotations. Warnings do not fail the
+// build — a 1-iteration smoke pass is noisy by design — they put the
+// number in front of the reviewer.
 package main
 
 import (
@@ -68,10 +77,47 @@ func parseLine(line string) (Bench, bool) {
 	return b, true
 }
 
+// baseName strips the trailing -N GOMAXPROCS suffix from a benchmark
+// name so results from machines with different core counts compare.
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare holds current against baseline, returning one warning line
+// per benchmark whose ns/op regressed by more than warnPct percent and
+// the number of benchmarks that actually matched a baseline entry (so
+// the caller can tell a clean pass from a dead comparison).
+func compare(current, baseline []Bench, warnPct float64) (warnings []string, matched int) {
+	base := make(map[string]Bench, len(baseline))
+	for _, b := range baseline {
+		base[baseName(b.Name)] = b
+	}
+	for _, c := range current {
+		b, ok := base[baseName(c.Name)]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		matched++
+		if pct := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp; pct > warnPct {
+			warnings = append(warnings,
+				fmt.Sprintf("::warning::%s regressed %.0f%%: %.0f ns/op vs baseline %.0f ns/op",
+					baseName(c.Name), pct, c.NsPerOp, b.NsPerOp))
+		}
+	}
+	return warnings, matched
+}
+
 func main() {
 	in := flag.String("in", "-", "benchmark text output to parse (- for stdin)")
 	out := flag.String("out", "-", "JSON artifact path (- for stdout)")
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash to stamp into the artifact")
+	baseline := flag.String("baseline", "", "baseline artifact to compare against (warn on ns/op regressions)")
+	warnPct := flag.Float64("warn-pct", 30, "regression percentage beyond which -baseline warns")
 	flag.Parse()
 
 	r := os.Stdin
@@ -99,6 +145,31 @@ func main() {
 	if len(art.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		bdata, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var base Artifact
+		if err := json.Unmarshal(bdata, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		// Warnings go to stderr: stdout may be the JSON artifact itself
+		// (-out "-"), and the GitHub runner scans both streams for
+		// ::warning:: annotations.
+		warnings, matched := compare(art.Benchmarks, base.Benchmarks, *warnPct)
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, w)
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "::warning::no benchmark in this run matches the baseline %s — the regression guard compared nothing\n", *baseline)
+		} else if len(warnings) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% against %s (%d benchmarks compared)\n",
+				*warnPct, *baseline, matched)
+		}
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

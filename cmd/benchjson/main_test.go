@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkE22NetSim-8   \t1\t 123456789 ns/op\t  456 B/op\t  12 allocs/op")
@@ -24,5 +27,52 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("non-benchmark line parsed: %q", line)
 		}
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkE22NetSim-8":  "BenchmarkE22NetSim",
+		"BenchmarkE22NetSim-16": "BenchmarkE22NetSim",
+		"BenchmarkE22NetSim":    "BenchmarkE22NetSim",
+		"BenchmarkFoo-bar":      "BenchmarkFoo-bar",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBaselineCompare(t *testing.T) {
+	base := []Bench{
+		{Name: "BenchmarkA-8", NsPerOp: 1000},
+		{Name: "BenchmarkB-8", NsPerOp: 1000},
+		{Name: "BenchmarkGone-8", NsPerOp: 1000},
+	}
+	current := []Bench{
+		{Name: "BenchmarkA-16", NsPerOp: 1250}, // +25%: inside the band
+		{Name: "BenchmarkB-16", NsPerOp: 1400}, // +40%: regression
+		{Name: "BenchmarkNew-16", NsPerOp: 9000},
+	}
+	warnings, matched := compare(current, base, 30)
+	if len(warnings) != 1 {
+		t.Fatalf("%d warnings, want exactly the one real regression: %v", len(warnings), warnings)
+	}
+	if matched != 2 {
+		t.Errorf("matched %d benchmarks, want 2 (Gone and New have no counterpart)", matched)
+	}
+	if !strings.Contains(warnings[0], "BenchmarkB") || !strings.Contains(warnings[0], "40%") {
+		t.Errorf("warning does not name the regression: %q", warnings[0])
+	}
+	// A faster run and an exactly-at-threshold run stay silent.
+	if w, _ := compare([]Bench{{Name: "BenchmarkA-8", NsPerOp: 500}}, base, 30); len(w) != 0 {
+		t.Errorf("improvement warned: %v", w)
+	}
+	if w, _ := compare([]Bench{{Name: "BenchmarkA-8", NsPerOp: 1300}}, base, 30); len(w) != 0 {
+		t.Errorf("at-threshold run warned: %v", w)
+	}
+	// Disjoint name sets must report a dead comparison, not a pass.
+	if _, m := compare([]Bench{{Name: "BenchmarkRenamed-8", NsPerOp: 10}}, base, 30); m != 0 {
+		t.Errorf("disjoint sets matched %d", m)
 	}
 }

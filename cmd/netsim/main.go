@@ -8,6 +8,8 @@
 //	netsim -scenario mix -data-mbps 4
 //	netsim -scenario mix -edca            # 802.11e access categories
 //	netsim -scenario mix -edca -downlink  # AP-sourced mix: per-AC queues at the AP
+//	netsim -scenario mix -edca -txop      # 802.11e default per-AC TXOP limits
+//	netsim -scenario dense -ampdu 32      # A-MPDU aggregation + Block-ACK
 //	netsim -scenario hidden
 //	netsim -scenario hidden -rts 1     # RTS/CTS + NAV rescue
 //	netsim -scenario roam -arf         # per-frame rate fallback
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -42,6 +45,8 @@ func main() {
 	rts := flag.Int("rts", 0, "RTS/CTS threshold in payload bytes (1 = every frame, 0 = off)")
 	arf := flag.Bool("arf", false, "per-frame ARF rate adaptation instead of association-time mode selection")
 	edca := flag.Bool("edca", false, "802.11e EDCA access categories (voice AC_VO, data AC_BE, background AC_BK) instead of legacy single-class DCF")
+	txop := flag.Bool("txop", false, "802.11e default per-AC TXOP limits (AC_VO 1.504 ms, AC_VI 3.008 ms): a winner chains SIFS-separated exchanges; requires -edca")
+	ampdu := flag.Int("ampdu", 0, "A-MPDU aggregation: max MPDUs per burst with Block-ACK partial retransmission (0 = off)")
 	downlink := flag.Bool("downlink", false, "source flows at the AP instead of the stations (mix: per-AC queues at the AP; roam: the queue follows the walker between APs)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	compare := flag.Bool("compare", false, "time the seed sweep serially and with the worker pool")
@@ -69,7 +74,23 @@ func main() {
 	}
 	if *edca {
 		e := netsim.DefaultEdca(cfg.Dcf, cfg.QueueLimit)
+		if *txop {
+			e = e.WithDot11eTxop(cfg.Dcf)
+		}
 		cfg.Edca = &e
+	} else if *txop {
+		// The 802.11e defaults give AC_BE/AC_BK a zero limit, and legacy
+		// DCF coerces every flow into AC_BE — the flag would be a no-op.
+		fmt.Fprintln(os.Stderr, "-txop needs -edca (legacy DCF runs everything in AC_BE, whose default TXOP limit is 0)")
+		os.Exit(1)
+	}
+	if *ampdu > 0 {
+		a := netsim.DefaultAggregation()
+		a.MaxAmpduFrames = *ampdu
+		cfg.Aggregation = &a
+	} else if *ampdu < 0 {
+		fmt.Fprintln(os.Stderr, "-ampdu must not be negative")
+		os.Exit(1)
 	}
 	var build func(seed int64) *netsim.Network
 	switch *scenario {
@@ -125,27 +146,28 @@ func main() {
 	agg := report.Table{
 		ID:     "netsim",
 		Title:  fmt.Sprintf("%s: %d seed(s), %.2f s virtual each (wall %v)", *scenario, *seeds, *durationS, wall.Round(time.Millisecond)),
-		Header: []string{"seed", "agg Mbps", "delivered", "attempts", "collisions", "virt coll", "rts", "rts fail", "retry drops", "queue drops", "roams", "airtime", "Jain"},
+		Header: []string{"seed", "agg Mbps", "delivered", "attempts", "txops", "collisions", "virt coll", "rts", "rts fail", "ba retx", "retry drops", "queue drops", "roams", "airtime", "Jain"},
 	}
 	for i, r := range results {
 		agg.AddRow(int(jobs[i].Seed), r.AggGoodputMbps, r.Delivered, r.Attempts,
-			r.Collisions, r.VirtualCollisions, r.RtsAttempts, r.RtsFailures,
-			r.RetryDrops, r.QueueDrops, r.Roams, r.AirtimeFrac,
+			r.Txops, r.Collisions, r.VirtualCollisions, r.RtsAttempts, r.RtsFailures,
+			r.BlockAckRetries, r.RetryDrops, r.QueueDrops, r.Roams, r.AirtimeFrac,
 			netsim.JainIndex(netsim.Goodputs(r.Flows)))
 	}
 	flows := report.Table{
 		ID:     "flows",
 		Title:  fmt.Sprintf("per-flow detail, seed %d", jobs[0].Seed),
-		Header: []string{"flow", "arrivals", "delivered", "Mbps", "mean delay us", "p95 delay us", "jitter us", "drop rate"},
+		Header: []string{"flow", "arrivals", "delivered", "Mbps", "mac eff", "mean delay us", "p95 delay us", "jitter us", "drop rate"},
 	}
 	for _, f := range results[0].Flows {
 		flows.AddRow(f.Label, f.Arrivals, f.Delivered, f.GoodputMbps,
+			fmt.Sprintf("%.3f", f.MacEfficiency),
 			f.MeanDelayUs, f.P95DelayUs, f.JitterUs, fmt.Sprintf("%.3f", f.DropRate()))
 	}
 	acs := report.Table{
 		ID:     "acs",
 		Title:  fmt.Sprintf("per-access-category breakdown, seed %d", jobs[0].Seed),
-		Header: []string{"AC", "flows", "attempts", "delivered", "collisions", "retry drops", "queue drops", "mean delay us", "p95 delay us"},
+		Header: []string{"AC", "flows", "attempts", "delivered", "collisions", "retry drops", "queue drops", "txop air", "mean delay us", "p95 delay us"},
 	}
 	for ac := netsim.NumACs - 1; ac >= 0; ac-- {
 		s := results[0].PerAC[ac]
@@ -153,9 +175,27 @@ func main() {
 			continue
 		}
 		acs.AddRow(ac.String(), s.Flows, s.Attempts, s.Delivered,
-			s.Collisions, s.RetryDrops, s.QueueDrops, s.MeanDelayUs, s.P95DelayUs)
+			s.Collisions, s.RetryDrops, s.QueueDrops,
+			fmt.Sprintf("%.3f", s.TxopAirtimeFrac), s.MeanDelayUs, s.P95DelayUs)
 	}
-	for _, tb := range []report.Table{agg, flows, acs} {
+	tables := []report.Table{agg, flows, acs}
+	if h := results[0].AmpduHist; len(h) > 0 {
+		sizes := make([]int, 0, len(h))
+		for s := range h {
+			sizes = append(sizes, s)
+		}
+		sort.Ints(sizes)
+		hist := report.Table{
+			ID:     "ampdu",
+			Title:  fmt.Sprintf("A-MPDU size histogram, seed %d", jobs[0].Seed),
+			Header: []string{"MPDUs per burst", "bursts"},
+		}
+		for _, s := range sizes {
+			hist.AddRow(s, h[s])
+		}
+		tables = append(tables, hist)
+	}
+	for _, tb := range tables {
 		if *csv {
 			fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
 		} else {

@@ -1,0 +1,80 @@
+// Ampdu: the 802.11n MAC-efficiency story end to end. One station
+// saturates a clean 54 Mbps link and the same traffic runs three ways —
+// single-frame exchanges, A-MPDU aggregation with Block-ACK, and
+// aggregation inside 802.11e TXOP bursts — printing goodput, MAC
+// efficiency, and the A-MPDU size histogram at each step. Then the link
+// is pushed out to a lossy distance to show the Block-ACK bitmap
+// retransmitting only the MPDUs that actually failed.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netsim"
+)
+
+// run plays one saturated uplink station at distM for two virtual
+// seconds and prints the headline numbers.
+func run(name string, cfg netsim.Config, distM float64) netsim.Result {
+	res := netsim.SingleLink(cfg, distM, 600)(7).Run(2e6)
+	f := res.Flows[0]
+	fmt.Printf("%-34s %6.2f Mbps   MAC eff %.3f   %d exchanges in %d TXOPs\n",
+		name, f.GoodputMbps, f.MacEfficiency, res.Attempts, res.Txops)
+	return res
+}
+
+func histogram(res netsim.Result) {
+	sizes := make([]int, 0, len(res.AmpduHist))
+	for s := range res.AmpduHist {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Printf("    %2d MPDUs x %d bursts\n", s, res.AmpduHist[s])
+	}
+}
+
+func main() {
+	// Single-frame exchanges: every 600 B packet pays its own PLCP
+	// preamble, SIFS, and ACK. At 54 Mbps the payload lasts ~89 us and
+	// the fixed tax ~80 us more — half the line rate is gone before
+	// contention even starts.
+	plain := netsim.DefaultConfig()
+	run("single-frame exchanges", plain, 8)
+
+	// A-MPDU: up to 32 same-destination packets ride one preamble and
+	// one Block-ACK. The overhead amortizes and efficiency jumps.
+	agg := netsim.DefaultConfig()
+	a := netsim.DefaultAggregation()
+	agg.Aggregation = &a
+	res := run("A-MPDU aggregation", agg, 8)
+	fmt.Println("  transmitted burst sizes:")
+	histogram(res)
+
+	// TXOP bursts on top: cap the A-MPDU at 8 MPDUs (~0.8 ms each) and
+	// give the queue an 802.11e video-class 3 ms limit — a winner now
+	// chains several bursts SIFS-to-SIFS without re-contending.
+	txop := netsim.DefaultConfig()
+	small := netsim.DefaultAggregation()
+	small.MaxAmpduFrames = 8
+	txop.Aggregation = &small
+	e := netsim.DefaultEdca(txop.Dcf, txop.QueueLimit).WithDot11eTxop(txop.Dcf)
+	// SingleLink queues under AC_BE, whose standard TXOP limit is 0;
+	// give best effort the video-class limit so the chaining is visible.
+	e[netsim.AC_BE].TxopLimitUs = e[netsim.AC_VI].TxopLimitUs
+	txop.Edca = &e
+	run("8-MPDU bursts inside 3 ms TXOPs", txop, 8)
+
+	// The same aggregated link at 120 m: the selected mode now runs at
+	// a real packet error rate, so bursts come back partially
+	// acknowledged and the Block-ACK bitmap retransmits exactly the
+	// failed MPDUs.
+	fmt.Println()
+	lossy := run("A-MPDU on a lossy 120 m link", agg, 120)
+	fmt.Printf("  %d MPDUs retransmitted via Block-ACK bitmaps, %d delivered, %d shed past the retry limit\n",
+		lossy.BlockAckRetries, lossy.Delivered, lossy.RetryDrops)
+	fmt.Println("\nOne preamble and one Block-ACK per burst is the whole 802.11n trick:")
+	fmt.Println("the higher the PHY rate, the more a per-frame ACK costs, and the more")
+	fmt.Println("aggregation gives back.")
+}

@@ -1,4 +1,4 @@
-// Package experiments contains one runner per reproduced exhibit E1-E25.
+// Package experiments contains one runner per reproduced exhibit E1-E26.
 // The paper (a survey) prints no numbered tables or figures; each runner
 // regenerates one of its quantitative claims as a table, with the claim
 // quoted in the table note. EXPERIMENTS.md records paper-vs-measured.
@@ -62,6 +62,7 @@ func All() []Runner {
 		{"E23", "Traffic-mix delay and fairness under contention (netsim)", E23TrafficMix},
 		{"E24", "Hidden-terminal RTS/CTS + NAV rescue and per-frame ARF (netsim)", E24RtsCtsHidden},
 		{"E25", "EDCA access categories: voice tail latency vs legacy DCF (netsim)", E25EdcaQos},
+		{"E26", "A-MPDU aggregation restores MAC efficiency at high PHY rate (netsim)", E26AmpduEfficiency},
 	}
 }
 

@@ -354,6 +354,33 @@ func TestE25EdcaProtectsVoiceTail(t *testing.T) {
 	}
 }
 
+func TestE26AmpduRestoresEfficiency(t *testing.T) {
+	tb := E26AmpduEfficiency(Quick())[0]
+	// Columns: rate, plain Mbps, plain eff, ampdu Mbps, ampdu eff,
+	// gain, mean burst size. Single-frame MAC efficiency must collapse
+	// as the PHY rate climbs the ladder...
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	eff6, eff54 := parse(t, first[2]), parse(t, last[2])
+	if eff54 >= eff6/2 {
+		t.Errorf("single-frame efficiency did not collapse up the ladder: %v at 6 Mbps vs %v at 54", eff6, eff54)
+	}
+	// ...and the acceptance bar: A-MPDU restores it at the top OFDM
+	// rate by at least 2x.
+	ampduEff54 := parse(t, last[4])
+	if ampduEff54 < 2*eff54 {
+		t.Errorf("top-rate A-MPDU efficiency %v not >= 2x single-frame %v", ampduEff54, eff54)
+	}
+	// Aggregation must win on goodput at every rung, hardest at the top.
+	for _, row := range tb.Rows {
+		if pm, am := parse(t, row[1]), parse(t, row[3]); am <= pm {
+			t.Errorf("%s Mbps: aggregated goodput %v not above single-frame %v", row[0], am, pm)
+		}
+	}
+	if size := parse(t, last[6]); size < 4 {
+		t.Errorf("saturated link filled bursts of only %v MPDUs", size)
+	}
+}
+
 func TestE24RtsRecoveryAndArfStaircase(t *testing.T) {
 	tables := E24RtsCtsHidden(Quick())
 	if len(tables) != 2 {

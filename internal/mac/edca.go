@@ -39,10 +39,16 @@ func (ac AccessCategory) String() string {
 
 // EdcaAc is one access category's EDCA parameter set. AIFSN counts
 // slots: AIFS = SIFS + AIFSN·slot, so AIFSN 2 reproduces legacy DIFS.
+// TxopLimitUs bounds the transmit opportunity a winning queue may hold:
+// a station that seizes the medium can run SIFS-separated frame
+// exchanges back to back until the limit would be exceeded. 0 means one
+// exchange per channel access (the pre-11e rule, still the standard's
+// default for best effort and background).
 type EdcaAc struct {
-	AIFSN int
-	CWMin int
-	CWMax int
+	AIFSN       int
+	CWMin       int
+	CWMax       int
+	TxopLimitUs float64
 }
 
 // EdcaTable holds one parameter set per access category, indexed by
@@ -54,15 +60,24 @@ type EdcaTable [NumACs]EdcaAc
 // d.CWMin/d.CWMax, so the same call covers 802.11b and 802.11a/g
 // timing):
 //
-//	AC_BK: AIFSN 7, CW aCWmin..aCWmax
-//	AC_BE: AIFSN 3, CW aCWmin..aCWmax
-//	AC_VI: AIFSN 2, CW (aCWmin+1)/2-1 .. aCWmin
-//	AC_VO: AIFSN 2, CW (aCWmin+1)/4-1 .. (aCWmin+1)/2-1
+//	AC_BK: AIFSN 7, CW aCWmin..aCWmax,                    TXOP 0
+//	AC_BE: AIFSN 3, CW aCWmin..aCWmax,                    TXOP 0
+//	AC_VI: AIFSN 2, CW (aCWmin+1)/2-1 .. aCWmin,          TXOP 3.008 ms
+//	AC_VO: AIFSN 2, CW (aCWmin+1)/4-1 .. (aCWmin+1)/2-1,  TXOP 1.504 ms
+//
+// The TXOP limits are the standard's defaults for OFDM PHYs; a DSSS/CCK
+// timing (20 us slots) gets the 802.11b column instead (AC_VO 3.264 ms,
+// AC_VI 6.016 ms). Best effort and background default to a single
+// exchange per access in both.
 func Dot11eEdca(d DcfConfig) EdcaTable {
+	viTxopUs, voTxopUs := 3008.0, 1504.0
+	if d.SlotUs >= 20 {
+		viTxopUs, voTxopUs = 6016, 3264
+	}
 	return EdcaTable{
 		AC_BK: {AIFSN: 7, CWMin: d.CWMin, CWMax: d.CWMax},
 		AC_BE: {AIFSN: 3, CWMin: d.CWMin, CWMax: d.CWMax},
-		AC_VI: {AIFSN: 2, CWMin: (d.CWMin+1)/2 - 1, CWMax: d.CWMin},
-		AC_VO: {AIFSN: 2, CWMin: (d.CWMin+1)/4 - 1, CWMax: (d.CWMin+1)/2 - 1},
+		AC_VI: {AIFSN: 2, CWMin: (d.CWMin+1)/2 - 1, CWMax: d.CWMin, TxopLimitUs: viTxopUs},
+		AC_VO: {AIFSN: 2, CWMin: (d.CWMin+1)/4 - 1, CWMax: (d.CWMin+1)/2 - 1, TxopLimitUs: voTxopUs},
 	}
 }

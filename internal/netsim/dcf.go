@@ -22,12 +22,16 @@ import (
 // effective queue per node and neither the arbitration nor the AIFS
 // differentiation can fire.
 //
-// A winning queue runs one of two exchanges:
+// A winning queue obtains a Txop (txop.go) and fills it with exchanges
+// assembled by the frame-sequence builder: optional RTS/CTS protection
+// in front of a single MPDU closed by an ACK or an A-MPDU burst closed
+// by a Block-ACK, chained SIFS-to-SIFS while the category's TXOP limit
+// has room. The degenerate configuration — every TxopLimitUs zero,
+// Config.Aggregation nil — plays exactly one data+ACK (or
+// RTS—SIFS—CTS—SIFS—data+ACK) per channel access, reproducing the
+// pre-TXOP simulator bit for bit.
 //
-//	data+ACK                         (payload below the RTS threshold)
-//	RTS — SIFS — CTS — SIFS — data+ACK  (at or above it)
-//
-// Only the RTS and the data frame are judged by SINR; the CTS is
+// Only the RTS and the data frames are judged by SINR; the CTS is
 // assumed decodable because the RTS just proved the reverse link. Both
 // control frames advertise the remaining exchange duration, and every
 // node that senses them raises its NAV for that long — so a station
@@ -156,6 +160,29 @@ func (q *acQueue) fire() {
 	nd.transmit(winner)
 }
 
+// exchangeFailed moves the queue's contention state after a lost
+// exchange or internal arbitration: count the retry and double the
+// window — or, past the retry limit, reset the window and (when
+// dropHead) abandon the head frame, as 802.11 does. Aggregated bursts
+// pass dropHead false: their abandonment is per packet, decided by the
+// Block-ACK bitmap.
+func (q *acQueue) exchangeFailed(dropHead bool) {
+	net := q.node.net
+	q.retries++
+	if q.retries > net.cfg.Dcf.RetryLimit {
+		q.cw = q.params().CWMin
+		q.retries = 0
+		if dropHead && len(q.queue) > 0 {
+			net.retryDrops[q.ac]++
+			p := q.queue[0]
+			q.queue = q.queue[1:]
+			p.flow.dropped(q.node)
+		}
+	} else {
+		q.cw = min(2*q.cw+1, q.params().CWMax)
+	}
+}
+
 // virtualCollision applies the loser's side of internal arbitration:
 // retry as if the frame had collided on the air — count the retry,
 // double the window (or abandon the frame past the retry limit), and
@@ -164,17 +191,7 @@ func (q *acQueue) fire() {
 func (q *acQueue) virtualCollision() {
 	net := q.node.net
 	net.virtualColl++
-	q.retries++
-	if q.retries > net.cfg.Dcf.RetryLimit {
-		net.retryDrops[q.ac]++
-		p := q.queue[0]
-		q.queue = q.queue[1:]
-		q.cw = q.params().CWMin
-		q.retries = 0
-		p.flow.dropped(q.node)
-	} else {
-		q.cw = min(2*q.cw+1, q.params().CWMax)
-	}
+	q.exchangeFailed(true)
 	if len(q.queue) == 0 {
 		q.contending = false
 		return
@@ -315,46 +332,40 @@ func (nd *Node) arfFor(rx *Node) *mac.ArfController {
 	return c
 }
 
-// transmit opens the exchange for the winning category's head-of-line
-// frame: straight to the data frame, or through RTS/CTS at or above the
-// threshold. The node's other countdowns freeze for the duration — an
-// EDCAF senses its own transmission as a busy medium.
+// transmit is a queue winning contention: it obtains the transmit
+// opportunity its category's TxopLimitUs allows and launches the first
+// exchange the builder assembles. The node's other countdowns freeze
+// for the duration — an EDCAF senses its own transmission as a busy
+// medium.
 func (nd *Node) transmit(q *acQueue) {
 	q.contending = false
 	nd.freezeBackoff()
 	nd.transmitting = true
-	pkt := q.queue[0]
-	nd.curPkt = pkt
-	rx := pkt.dest(nd)
-	mode := nd.dataMode(rx)
-	nd.net.attempts[pkt.ac]++
-	if nd.net.useRts(pkt) {
-		nd.sendRts(pkt, rx, mode)
-		return
-	}
-	nd.sendData(pkt, rx, mode)
+	nd.txop = &Txop{q: q, StartUs: nd.net.eng.Now(), LimitUs: q.params().TxopLimitUs}
+	nd.net.txops++
+	nd.launch(nd.buildExchange(nd.txop))
 }
 
 // sendRts puts the short RTS on the air. Its SINR — not the data
-// frame's — decides whether the exchange continues, so a hidden-node
+// burst's — decides whether the exchange continues, so a hidden-node
 // overlap costs plcp+RTS of airtime. The advertised NAV covers the
 // rest of the exchange at the data mode chosen for this attempt.
-func (nd *Node) sendRts(pkt *packet, rx *Node, dataMode linkmodel.Mode) {
+func (nd *Node) sendRts(ex *exchange) {
 	net := nd.net
 	d := net.cfg.Dcf
 	net.rtsSent++
 	nav := net.eng.Now() + net.rtsAirUs() + d.SIFSUs + net.ctsAirUs() +
-		d.SIFSUs + net.airtimeUs(dataMode, pkt.bytes)
-	tr := &transmission{kind: frameRts, tx: nd, rx: rx, pkt: pkt,
+		d.SIFSUs + ex.dataAirUs()
+	tr := &transmission{kind: frameRts, tx: nd, rx: ex.rx, pkt: ex.mpdus[0], ex: ex,
 		mode: net.robustMode(), navUntilUs: nav, startUs: net.eng.Now()}
 	nd.med.start(tr)
-	net.eng.Schedule(net.rtsAirUs(), func() { nd.completeRts(tr, dataMode) })
+	net.eng.Schedule(net.rtsAirUs(), func() { nd.completeRts(tr) })
 }
 
 // completeRts judges the RTS. Success draws the receiver's CTS a SIFS
 // later; failure (no CTS timeout in the real protocol) takes the shared
-// retry path without having burned the data frame's airtime.
-func (nd *Node) completeRts(tr *transmission, dataMode linkmodel.Mode) {
+// retry path without having burned the data burst's airtime.
+func (nd *Node) completeRts(tr *transmission) {
 	nd.med.finish(tr)
 	net := nd.net
 	if !nd.med.succeeds(tr) {
@@ -364,7 +375,7 @@ func (nd *Node) completeRts(tr *transmission, dataMode linkmodel.Mode) {
 		return
 	}
 	rx := tr.rx
-	net.eng.Schedule(net.cfg.Dcf.SIFSUs, func() { rx.sendCts(tr, dataMode) })
+	net.eng.Schedule(net.cfg.Dcf.SIFSUs, func() { rx.sendCts(tr) })
 }
 
 // releaseNav invokes 802.11's NAV-reset rule for a dead RTS
@@ -388,7 +399,7 @@ func (nd *Node) releaseNav(rts *transmission) {
 // just proved the link. Crucially its NAV reaches stations hidden from
 // the data sender but in range of the receiver, which is what rescues
 // the hidden-terminal topology.
-func (nd *Node) sendCts(rts *transmission, dataMode linkmodel.Mode) {
+func (nd *Node) sendCts(rts *transmission) {
 	net := nd.net
 	d := net.cfg.Dcf
 	peer := rts.tx
@@ -418,7 +429,7 @@ func (nd *Node) sendCts(rts *transmission, dataMode linkmodel.Mode) {
 	nd.freezeBackoff()
 	nd.transmitting = true
 	nd.curPkt = nil
-	nav := net.eng.Now() + net.ctsAirUs() + d.SIFSUs + net.airtimeUs(dataMode, rts.pkt.bytes)
+	nav := net.eng.Now() + net.ctsAirUs() + d.SIFSUs + rts.ex.dataAirUs()
 	tr := &transmission{kind: frameCts, tx: nd, rx: peer, pkt: rts.pkt,
 		mode: net.robustMode(), navUntilUs: nav, startUs: net.eng.Now()}
 	nd.med.start(tr)
@@ -436,28 +447,41 @@ func (nd *Node) sendCts(rts *transmission, dataMode linkmodel.Mode) {
 		// node transmitting and skipped startContention; pick it up now.
 		// The countdowns sendCts froze resume via tryResume at NAV end.
 		nd.recontend()
-		net.eng.Schedule(d.SIFSUs, func() { peer.sendData(rts.pkt, nd, dataMode) })
+		net.eng.Schedule(d.SIFSUs, func() { peer.sendData(rts.ex) })
 	})
 }
 
-// sendData puts the data frame on the air for its data+ACK exchange and
+// sendData puts the exchange's data portion on the air — one MPDU
+// awaiting an ACK, or an A-MPDU burst awaiting a Block-ACK — and
 // schedules the outcome.
-func (nd *Node) sendData(pkt *packet, rx *Node, mode linkmodel.Mode) {
+func (nd *Node) sendData(ex *exchange) {
 	net := nd.net
-	net.modeAttempts[mode.Name]++
-	tr := &transmission{kind: frameData, tx: nd, rx: rx, pkt: pkt, mode: mode,
-		startUs: net.eng.Now()}
+	net.modeAttempts[ex.mode.Name]++
+	if net.cfg.Aggregation != nil {
+		net.ampduHist[len(ex.mpdus)]++
+	}
+	for _, p := range ex.mpdus {
+		p.flow.attemptedMpdu(ex.mode.RateMbps)
+	}
+	tr := &transmission{kind: frameData, tx: nd, rx: ex.rx, pkt: ex.mpdus[0], ex: ex,
+		mode: ex.mode, startUs: net.eng.Now()}
 	nd.med.start(tr)
-	net.eng.Schedule(net.airtimeUs(mode, pkt.bytes), func() { nd.complete(tr) })
+	net.eng.Schedule(ex.dataAirUs(), func() { nd.complete(tr) })
 }
 
-// complete ends the data exchange: judge the frame, update the ARF
-// controller and windows, then contend for the next queued frames. A
-// via-AP flow's first hop hands the packet to the AP's downlink queue
-// instead of recording a flow delivery.
+// complete ends the exchange's data portion: judge it, update the ARF
+// controller and windows, then either chain the next exchange of a held
+// TXOP or stand down and contend for the next queued frames. A via-AP
+// flow's first hop hands the packet to the AP's downlink queue instead
+// of recording a flow delivery.
 func (nd *Node) complete(tr *transmission) {
 	nd.med.finish(tr)
 	net := nd.net
+	if tr.ex.ampdu {
+		nd.completeAmpdu(tr)
+		return
+	}
+	net.acAirtimeUs[tr.pkt.ac] += tr.ex.airUs()
 	if !nd.med.succeeds(tr) {
 		if net.cfg.Arf != nil {
 			nd.arfFor(tr.rx).OnFailure()
@@ -465,46 +489,82 @@ func (nd *Node) complete(tr *transmission) {
 		nd.fail(tr)
 		return
 	}
+	q := &nd.acq[tr.pkt.ac]
+	deliver := func() {
+		net.delivered[tr.pkt.ac]++
+		q.queue = q.queue[1:]
+		q.cw = q.params().CWMin
+		q.retries = 0
+		if net.cfg.Arf != nil {
+			nd.arfFor(tr.rx).OnSuccess()
+		}
+		f := tr.pkt.flow
+		if f.viaAP() && tr.rx.ap {
+			// Hand the packet to the destination's CURRENT AP (an ideal
+			// distribution system forwards between APs for free), so the
+			// downlink leg always rides the medium the destination is tuned
+			// to and roam handoff always finds relay packets at the right AP.
+			f.relayed(tr.pkt, f.To.bss.AP)
+		} else {
+			f.delivered(tr.pkt, net.eng.Now(), nd)
+		}
+	}
+	if tr.ex.t.LimitUs > 0 {
+		// TXOP path: deliver with the opportunity held (transmitting
+		// stays true, so a saturated refill tops the queue up without
+		// starting contention), then chain the next exchange a SIFS
+		// later if backlog remains — the limit itself is re-checked at
+		// launch time against the rebuilt exchange. curPkt clears for
+		// the gap: nothing is on the air, and a roam handoff landing in
+		// it must treat every queued packet as movable.
+		nd.curPkt = nil
+		deliver()
+		if len(q.queue) > 0 {
+			net.eng.Schedule(net.cfg.Dcf.SIFSUs, nd.nextExchange)
+			return
+		}
+		nd.endTxop()
+		return
+	}
 	nd.transmitting = false
 	nd.curPkt = nil
-	q := &nd.acq[tr.pkt.ac]
-	net.delivered[tr.pkt.ac]++
-	q.queue = q.queue[1:]
-	q.cw = q.params().CWMin
-	q.retries = 0
-	if net.cfg.Arf != nil {
-		nd.arfFor(tr.rx).OnSuccess()
-	}
-	f := tr.pkt.flow
-	if f.viaAP() && tr.rx.ap {
-		// Hand the packet to the destination's CURRENT AP (an ideal
-		// distribution system forwards between APs for free), so the
-		// downlink leg always rides the medium the destination is tuned
-		// to and roam handoff always finds relay packets at the right AP.
-		f.relayed(tr.pkt, f.To.bss.AP)
-	} else {
-		f.delivered(tr.pkt, net.eng.Now(), nd)
-	}
+	nd.txop = nil
+	deliver()
 	nd.recontend()
 }
 
 // fail is the shared no-ACK path for lost data frames and unanswered
 // RTSs: classify the loss, double the window or abandon the frame past
-// the retry limit, then contend again. An RTS loss does NOT touch the
-// ARF controller — the data rate was never tested, and keeping
-// collision losses out of the rate decision is exactly what RTS/CTS
-// buys an ARF sender.
+// the retry limit, then contend again. A failed exchange forfeits the
+// rest of the node's TXOP — the standard makes the holder re-contend
+// after any unanswered frame. An RTS loss does NOT touch the ARF
+// controller — the data rate was never tested, and keeping collision
+// losses out of the rate decision is exactly what RTS/CTS buys an ARF
+// sender.
 func (nd *Node) fail(tr *transmission) {
 	net := nd.net
 	nd.transmitting = false
 	nd.curPkt = nil
+	nd.txop = nil
 	ac := tr.pkt.ac
+	if tr.kind == frameRts {
+		// Only the RTS aired; data exchanges account their full span in
+		// complete/completeAmpdu.
+		net.acAirtimeUs[ac] += net.rtsAirUs()
+	}
 	if tr.interfered(mwFromDBm(net.noiseFloorDBm)) {
 		net.collisions[ac]++
 	} else {
 		net.noiseLoss[ac]++
 	}
 	q := &nd.acq[ac]
+	if ex := tr.ex; ex != nil && ex.ampdu {
+		// An unanswered RTS that was protecting an A-MPDU: the burst
+		// never aired and its MPDUs left the queue at launch, so they
+		// go back to the head before the shared retry logic runs.
+		nd.failAmpduRts(q, ex)
+		return
+	}
 	if to := tr.pkt.flow.To; nd.ap && to != nil && !to.ap && to.bss.AP != nd {
 		// The destination reassociated while this frame was in flight
 		// (the one packet handoffDownlink must leave mid-exchange):
@@ -518,16 +578,27 @@ func (nd *Node) fail(tr *transmission) {
 		nd.recontend()
 		return
 	}
-	q.retries++
-	if q.retries > net.cfg.Dcf.RetryLimit {
-		// Abandon the frame and reset the window, as 802.11 does.
-		net.retryDrops[ac]++
-		q.queue = q.queue[1:]
-		q.cw = q.params().CWMin
-		q.retries = 0
-		tr.pkt.flow.dropped(nd)
-	} else {
-		q.cw = min(2*q.cw+1, q.params().CWMax)
+	q.exchangeFailed(true)
+	nd.recontend()
+}
+
+// failAmpduRts finishes the no-CTS path for a protected A-MPDU burst:
+// the MPDUs return to the head of the queue in order (one whose
+// destination roamed mid-exchange goes to its current AP instead), and
+// the window moves per TXOP outcome — doubled, or, past the retry
+// limit, reset while the head frame is shed like any over-retried
+// frame.
+func (nd *Node) failAmpduRts(q *acQueue, ex *exchange) {
+	keep := make([]*packet, 0, len(ex.mpdus))
+	for _, p := range ex.mpdus {
+		if to := p.flow.To; nd.ap && to != nil && !to.ap && to.bss.AP != nd {
+			p.retries = 0
+			to.bss.AP.enqueue(p)
+			continue
+		}
+		keep = append(keep, p)
 	}
+	q.queue = append(keep, q.queue...)
+	q.exchangeFailed(true)
 	nd.recontend()
 }

@@ -22,13 +22,20 @@ const (
 
 // AcParams is one access category's channel-access parameter set as
 // netsim consumes it: the AIFS already resolved to microseconds, the
-// contention window bounds, and the transmit-queue depth for that
-// category.
+// contention window bounds, the transmit-queue depth, and the TXOP
+// limit for that category.
+//
+// TxopLimitUs bounds the transmit opportunity a winning queue holds:
+// once a queue's backoff expires it may run SIFS-separated frame
+// exchanges back to back until the next exchange would no longer fit
+// inside the limit. 0 means one exchange per channel access — the
+// pre-11e rule, which reproduces the single-exchange simulator exactly.
 type AcParams struct {
-	AifsUs     float64
-	CWMin      int
-	CWMax      int
-	QueueLimit int
+	AifsUs      float64
+	CWMin       int
+	CWMax       int
+	QueueLimit  int
+	TxopLimitUs float64
 }
 
 // EdcaParams is the per-AC parameter table carried on Config.Edca,
@@ -39,7 +46,10 @@ type EdcaParams [NumACs]AcParams
 
 // DefaultEdca resolves the 802.11e default parameter sets
 // (mac.Dot11eEdca) against the given DCF timing, giving every category
-// the same queue depth.
+// the same queue depth. TXOP limits are left at zero — one exchange per
+// channel access — so results stay bit-for-bit comparable with the
+// pre-TXOP simulator; chain WithDot11eTxop to opt into the standard's
+// default per-AC limits.
 func DefaultEdca(d mac.DcfConfig, queueLimit int) EdcaParams {
 	tbl := mac.Dot11eEdca(d)
 	var out EdcaParams
@@ -53,6 +63,19 @@ func DefaultEdca(d mac.DcfConfig, queueLimit int) EdcaParams {
 		}
 	}
 	return out
+}
+
+// WithDot11eTxop returns a copy of the table with the 802.11e default
+// TXOP limits from mac.Dot11eEdca(d) applied: voice and video may burst
+// SIFS-separated exchanges for 1.504/3.008 ms (OFDM timing; the DSSS
+// column doubles both), best effort and background stay at one exchange
+// per access.
+func (e EdcaParams) WithDot11eTxop(d mac.DcfConfig) EdcaParams {
+	tbl := mac.Dot11eEdca(d)
+	for ac := range e {
+		e[ac].TxopLimitUs = tbl[ac].TxopLimitUs
+	}
+	return e
 }
 
 // legacyEdca fills every category with the plain DCF parameters; with
@@ -83,6 +106,9 @@ func (e EdcaParams) validate() {
 		}
 		if p.QueueLimit <= 0 {
 			panic(fmt.Sprintf("netsim: Edca[%s].QueueLimit must be positive, got %d", name, p.QueueLimit))
+		}
+		if math.IsNaN(p.TxopLimitUs) || math.IsInf(p.TxopLimitUs, 0) || p.TxopLimitUs < 0 {
+			panic(fmt.Sprintf("netsim: Edca[%s].TxopLimitUs must not be negative, got %v", name, p.TxopLimitUs))
 		}
 	}
 }

@@ -57,26 +57,6 @@ func TestLegacyCoercesEveryFlowToBestEffort(t *testing.T) {
 	}
 }
 
-// The deprecated AddFlow wrapper must behave exactly like the FlowSpec
-// it documents: same seed, same results, bit for bit.
-func TestDeprecatedAddFlowMatchesFlowSpec(t *testing.T) {
-	run := func(useWrapper bool) Result {
-		n := New(DefaultConfig(), 11)
-		b := n.AddAP("AP", 0, 0, 1)
-		st := n.AddStation(b, "sta", 12, 0)
-		if useWrapper {
-			n.AddFlow(st, nil, Poisson{PayloadBytes: 700, PktPerSec: 300})
-		} else {
-			n.Add(FlowSpec{From: st, AC: AC_BE, Gen: Poisson{PayloadBytes: 700, PktPerSec: 300}})
-		}
-		return n.Run(300000)
-	}
-	a, b := run(true), run(false)
-	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
-		t.Fatalf("AddFlow diverged from Add(FlowSpec):\n%+v\n%+v", a, b)
-	}
-}
-
 // EDCA's reason to exist: voice in AC_VO keeps low delay under a data
 // load that saturates the cell, where the legacy single class lets
 // contention queueing swallow it.

@@ -44,6 +44,11 @@ type transmission struct {
 	mode    linkmodel.Mode
 	startUs float64
 
+	// ex is the frame exchange this transmission belongs to (set on RTS
+	// and data frames; pkt is its first MPDU). The CTS, sent by the
+	// responder, carries only pkt.
+	ex *exchange
+
 	// navUntilUs, when positive, is the absolute time the frame's
 	// duration field reserves the medium until; every node that senses
 	// the frame raises its NAV to it (RTS and CTS carry one).
@@ -203,11 +208,16 @@ func (m *medium) succeeds(tr *transmission) bool {
 	if tr.doomed || tr.rx.med != m {
 		return false
 	}
+	per := tr.mode.PERAwgn(m.sinrDB(tr))
+	return m.net.src.Float64() >= per
+}
+
+// sinrDB is the worst-overlap SINR the frame was received at — the
+// figure every MPDU of an A-MPDU burst is judged against individually.
+func (m *medium) sinrDB(tr *transmission) float64 {
 	sigMw := mwFromDBm(m.net.rxPowerDBm(tr.tx, tr.rx))
 	noiseMw := mwFromDBm(m.net.noiseFloorDBm)
-	sinrDB := 10 * math.Log10(sigMw/(noiseMw+tr.maxIntfMw))
-	per := tr.mode.PERAwgn(sinrDB)
-	return m.net.src.Float64() >= per
+	return 10 * math.Log10(sigMw/(noiseMw+tr.maxIntfMw))
 }
 
 // interfered reports whether the frame saw meaningful co-channel

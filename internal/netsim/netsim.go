@@ -15,6 +15,15 @@
 // and the NAV set by the decoded RTS/CTS duration fields defers
 // stations that cannot carrier-sense the data frame itself.
 //
+// Transmission is organized around TXOP frame exchanges (txop.go): a
+// queue that wins contention obtains a Txop bounded by its category's
+// AcParams.TxopLimitUs and fills it with composable exchanges —
+// optional RTS/CTS protection in front of a single MPDU with ACK or,
+// with Config.Aggregation set, an A-MPDU burst judged MPDU by MPDU and
+// closed by a Block-ACK whose bitmap retransmits exactly the failed
+// subset. All limits zero and Aggregation nil reproduce the classic
+// one-exchange-per-access simulator bit for bit.
+//
 // The package exposes three levels:
 //
 //   - Network: build nodes/BSSs by hand, attach traffic with
@@ -95,14 +104,49 @@ type Config struct {
 	// selection with per-frame automatic rate fallback: each node keeps
 	// one mac.ArfController per destination and feeds it every data
 	// frame outcome, so the rate-vs-range staircase emerges frame by
-	// frame (and collapses back as a station walks away).
+	// frame (and collapses back as a station walks away). With
+	// aggregation on, the controller is fed the aggregate TXOP outcome:
+	// a Block-ACK that acknowledges anything is a success, a burst that
+	// draws no Block-ACK at all is a failure.
 	Arf *mac.ArfConfig
+
+	// Aggregation, when non-nil, enables A-MPDU frame aggregation: a
+	// winning queue bundles its same-destination head-of-line packets
+	// into one burst under a single PLCP preamble, each MPDU is judged
+	// individually through the linkmodel PER curves, and a Block-ACK
+	// bitmap a SIFS later retransmits exactly the failed subset. This is
+	// 802.11n's answer to the MAC-efficiency collapse at high PHY rates:
+	// preamble/SIFS/ACK overhead is paid once per burst instead of once
+	// per frame. Nil reproduces the single-frame exchange exactly.
+	Aggregation *AggConfig
 
 	// RoamIntervalUs, when positive, schedules a periodic scan on which
 	// mobile nodes move and stations reassociate to the strongest AP if
 	// it beats the current one by RoamHysteresisDB.
 	RoamIntervalUs   float64
 	RoamHysteresisDB float64
+}
+
+// AggConfig parameterizes A-MPDU aggregation (Config.Aggregation).
+type AggConfig struct {
+	// MaxAmpduBytes caps the summed MPDU payload of one A-MPDU; a burst
+	// stops growing before the packet that would exceed it. A head
+	// packet larger than the cap still goes out alone.
+	MaxAmpduBytes int
+	// MaxAmpduFrames caps the number of MPDUs per A-MPDU. 1 degenerates
+	// to single-frame exchanges (every burst is just the head packet).
+	MaxAmpduFrames int
+	// BlockAckUs is the on-air duration of the Block-ACK response after
+	// the PLCP preamble; it replaces the per-frame ACK at the end of an
+	// aggregated exchange.
+	BlockAckUs float64
+}
+
+// DefaultAggregation is an 802.11n-flavoured A-MPDU setting: 64 KiB
+// bursts of up to 32 MPDUs, closed by a compressed Block-ACK of about
+// one OFDM ACK's duration.
+func DefaultAggregation() AggConfig {
+	return AggConfig{MaxAmpduBytes: 65535, MaxAmpduFrames: 32, BlockAckUs: 44}
 }
 
 // DefaultConfig is an 802.11a/g network: OFDM 6-54 Mbps rates, 2.4 GHz
@@ -152,6 +196,15 @@ func (c Config) Validate() {
 	if c.Edca != nil {
 		c.Edca.validate()
 	}
+	if a := c.Aggregation; a != nil {
+		if a.MaxAmpduFrames <= 0 {
+			panic(fmt.Sprintf("netsim: Config.Aggregation.MaxAmpduFrames must be positive, got %d", a.MaxAmpduFrames))
+		}
+		if a.MaxAmpduBytes <= 0 {
+			panic(fmt.Sprintf("netsim: Config.Aggregation.MaxAmpduBytes must be positive, got %d", a.MaxAmpduBytes))
+		}
+		checkPositive("Config.Aggregation", "BlockAckUs", a.BlockAckUs)
+	}
 }
 
 // BSS is one basic service set: an AP and its associated stations on a
@@ -180,12 +233,15 @@ type Node struct {
 	// populated.
 	acq [NumACs]acQueue
 
-	// transmitting marks the node mid-exchange; curPkt is the queued
-	// frame that exchange is carrying (valid only while transmitting a
+	// transmitting marks the node mid-TXOP; curPkt is the queued frame
+	// the current exchange is carrying (valid only while transmitting a
 	// frame of its own — downlink handoff uses it to leave the
-	// in-flight frame with the old AP).
+	// in-flight frame with the old AP). txop is the transmit
+	// opportunity the node currently holds (nil between channel
+	// accesses and while answering a peer's RTS with a CTS).
 	transmitting bool
 	curPkt       *packet
+	txop         *Txop
 	busyCount    int
 
 	// NAV (virtual carrier sense): contention defers until navUntilUs
@@ -201,12 +257,16 @@ type Node struct {
 }
 
 // packet is one queued MAC frame. ac is the effective access category
-// it is queued and judged under (AC_BE when EDCA is off).
+// it is queued and judged under (AC_BE when EDCA is off). retries
+// counts this packet's failed MPDU attempts under aggregation, where
+// retry state is per packet (a Block-ACK retransmits individual MPDUs)
+// rather than per queue head as in the single-frame exchange.
 type packet struct {
 	flow      *Flow
 	bytes     int
 	arrivalUs float64
 	ac        AC
+	retries   int
 }
 
 // dest resolves the packet's next-hop receiver for its current carrier:
@@ -268,6 +328,14 @@ type Network struct {
 	virtualColl           int
 	roams                 int
 	modeAttempts          map[string]int // data-frame attempts per mode name
+
+	// TXOP / aggregation accounting: TXOPs won, medium time occupied by
+	// each AC's exchanges, transmitted A-MPDU sizes, and MPDUs a
+	// Block-ACK bitmap sent back for retransmission.
+	txops           int
+	acAirtimeUs     [NumACs]float64
+	ampduHist       map[int]int
+	blockAckRetries int
 }
 
 // New returns an empty network. All randomness (shadowing, backoff,
@@ -281,6 +349,9 @@ func New(cfg Config, seed int64) *Network {
 	n := &Network{cfg: cfg, src: rng.New(seed), noiseFloorDBm: cfg.Budget.NoiseFloorDBm(),
 		modeCache:    make(map[[2]int]linkmodel.Mode),
 		modeAttempts: make(map[string]int)}
+	if cfg.Aggregation != nil {
+		n.ampduHist = make(map[int]int)
+	}
 	n.edcaOn = cfg.Edca != nil
 	if n.edcaOn {
 		n.edca = *cfg.Edca
@@ -409,19 +480,6 @@ func (n *Network) Add(spec FlowSpec) *Flow {
 	return f
 }
 
-// AddFlow attaches a traffic source at from addressed to to.
-//
-// Deprecated: use Add with a FlowSpec — it names the direction
-// explicitly and carries the access category. AddFlow maps to
-// Add(FlowSpec{From: from, To: to, AC: AC_BE, Gen: gen}) and will be
-// removed after one release. Note one semantic change riding the
-// redesign: a station→station pair now relays through the AP (two MAC
-// hops, as infrastructure 802.11 does) — the old single-hop direct
-// transmission between stations is no longer modelled.
-func (n *Network) AddFlow(from, to *Node, gen TrafficGen) *Flow {
-	return n.Add(FlowSpec{From: from, To: to, AC: AC_BE, Gen: gen})
-}
-
 // dist returns the distance in metres between two nodes.
 func dist(a, b *Node) float64 {
 	return math.Hypot(a.X-b.X, a.Y-b.Y)
@@ -520,14 +578,16 @@ func (n *Network) airtimeUs(m linkmodel.Mode, bytes int) float64 {
 	return d.PlcpUs + float64(8*bytes)/m.RateMbps + d.SIFSUs + d.AckUs
 }
 
+// ampduAirUs is the medium occupancy of one A-MPDU exchange: a single
+// PLCP preamble over the whole burst, then the Block-ACK a SIFS later.
+func (n *Network) ampduAirUs(m linkmodel.Mode, totalBytes int) float64 {
+	d := n.cfg.Dcf
+	return d.PlcpUs + float64(8*totalBytes)/m.RateMbps + d.SIFSUs + n.cfg.Aggregation.BlockAckUs
+}
+
 // rtsAirUs / ctsAirUs are the on-air durations of the control frames.
 func (n *Network) rtsAirUs() float64 { return n.cfg.Dcf.PlcpUs + n.cfg.RtsUs }
 func (n *Network) ctsAirUs() float64 { return n.cfg.Dcf.PlcpUs + n.cfg.CtsUs }
-
-// useRts reports whether the packet's exchange opens with an RTS.
-func (n *Network) useRts(p *packet) bool {
-	return n.cfg.RtsThresholdBytes > 0 && p.bytes >= n.cfg.RtsThresholdBytes
-}
 
 // Run plays the network for durationUs of virtual time and returns the
 // aggregated result. It may be called only once per Network.
@@ -677,13 +737,22 @@ func (n *Network) handoffDownlink(st, oldAp, newAp *Node) {
 type ACStats struct {
 	Flows       int
 	Attempts    int // exchange attempts started (RTS or data)
-	Delivered   int // frames that passed the SINR draw (per MAC hop)
-	Collisions  int // failures with interference present
-	NoiseLosses int // failures on a clean channel
+	Delivered   int // MPDUs that passed the SINR draw (per MAC hop)
+	Collisions  int // losses with interference present
+	NoiseLosses int // losses on a clean channel
 	RetryDrops  int // frames abandoned past the retry limit
 	QueueDrops  int // arrivals lost to full queues
 	MeanDelayUs float64
 	P95DelayUs  float64
+
+	// TxopAirtimeFrac is the summed span of the category's exchanges
+	// (RTS/CTS/data/ACK including their SIFS gaps; contention time
+	// excluded) divided by the run duration. Overlapping exchanges —
+	// collisions on one channel, parallel channels in a reuse layout —
+	// each count in full, so the figure can exceed 1; it compares
+	// airtime appetite ACROSS categories rather than measuring union
+	// medium occupancy (Result.AirtimeFrac does that).
+	TxopAirtimeFrac float64
 }
 
 // Result is the outcome of one Network.Run.
@@ -713,6 +782,21 @@ type Result struct {
 	// — the per-mode histogram that shows ARF walking the staircase.
 	ModeAttempts map[string]int
 
+	// Txops counts transmit opportunities won. With every TxopLimitUs
+	// zero each TXOP is one exchange, so Txops tracks Attempts; with
+	// limits set, Attempts/Txops is the mean burst length.
+	Txops int
+
+	// AmpduHist is the histogram of transmitted A-MPDU sizes (MPDUs per
+	// data burst, retransmissions included). Nil when aggregation is
+	// off; size 1 counts bursts that found only one eligible packet.
+	AmpduHist map[int]int
+
+	// BlockAckRetries counts MPDUs retransmitted because a Block-ACK
+	// bitmap reported them missing while acknowledging the rest of the
+	// burst — the partial-loss path unique to aggregation.
+	BlockAckRetries int
+
 	AggGoodputMbps float64
 	// AirtimeFrac is the union busy fraction of the busiest channel.
 	AirtimeFrac float64
@@ -724,6 +808,7 @@ func (n *Network) collect(durationUs float64) Result {
 		RtsAttempts: n.rtsSent, RtsFailures: n.rtsFailed,
 		VirtualCollisions: n.virtualColl,
 		Roams:             n.roams, ModeAttempts: n.modeAttempts,
+		Txops: n.txops, AmpduHist: n.ampduHist, BlockAckRetries: n.blockAckRetries,
 	}
 	var delaysByAC [NumACs][]float64
 	for ac := 0; ac < int(NumACs); ac++ {
@@ -731,6 +816,7 @@ func (n *Network) collect(durationUs float64) Result {
 			Attempts: n.attempts[ac], Delivered: n.delivered[ac],
 			Collisions: n.collisions[ac], NoiseLosses: n.noiseLoss[ac],
 			RetryDrops: n.retryDrops[ac], QueueDrops: n.queueDrop[ac],
+			TxopAirtimeFrac: n.acAirtimeUs[ac] / durationUs,
 		}
 		res.Attempts += n.attempts[ac]
 		res.Delivered += n.delivered[ac]

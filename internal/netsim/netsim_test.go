@@ -104,7 +104,7 @@ func TestOverloadDropsAtTheQueue(t *testing.T) {
 	b := n.AddAP("AP", 0, 0, 1)
 	st := n.AddStation(b, "sta", 10, 0)
 	// ~96 Mbps offered into a ~24 Mbps link must shed most packets.
-	n.AddFlow(st, nil, CBR{PayloadBytes: 1200, IntervalUs: 100})
+	n.Add(FlowSpec{From: st, AC: AC_BE, Gen: CBR{PayloadBytes: 1200, IntervalUs: 100}})
 	res := n.Run(300000)
 	fs := res.Flows[0]
 	if fs.QueueDrops == 0 {
@@ -138,7 +138,7 @@ func TestDownlinkFlow(t *testing.T) {
 	n := New(DefaultConfig(), 9)
 	b := n.AddAP("AP", 0, 0, 1)
 	st := n.AddStation(b, "sta", 8, 0)
-	n.AddFlow(b.AP, st, Poisson{PayloadBytes: 800, PktPerSec: 500})
+	n.Add(FlowSpec{From: b.AP, To: st, AC: AC_BE, Gen: Poisson{PayloadBytes: 800, PktPerSec: 500}})
 	res := n.Run(400000)
 	if res.Flows[0].Delivered == 0 {
 		t.Fatalf("downlink delivered nothing: %+v", res.Flows[0])
@@ -196,7 +196,7 @@ func TestNavDefersContentionOnIdleMedium(t *testing.T) {
 	n := New(DefaultConfig(), 11)
 	b := n.AddAP("AP", 0, 0, 1)
 	st := n.AddStation(b, "sta", 10, 0)
-	fl := n.AddFlow(st, nil, CBR{PayloadBytes: 400, IntervalUs: 1e6})
+	fl := n.Add(FlowSpec{From: st, AC: AC_BE, Gen: CBR{PayloadBytes: 400, IntervalUs: 1e6}})
 	n.build()
 
 	st.setNav(5000)
@@ -221,7 +221,7 @@ func TestRtsThresholdBoundary(t *testing.T) {
 		n := New(cfg, 3)
 		b := n.AddAP("AP", 0, 0, 1)
 		st := n.AddStation(b, "sta", 10, 0)
-		n.AddFlow(st, nil, CBR{PayloadBytes: 800, IntervalUs: 2000})
+		n.Add(FlowSpec{From: st, AC: AC_BE, Gen: CBR{PayloadBytes: 800, IntervalUs: 2000}})
 		return n.Run(100000)
 	}
 	atThreshold := run(800) // payload == threshold: RTS protects
@@ -252,7 +252,7 @@ func TestArfDownshiftsWithDistance(t *testing.T) {
 		n := New(cfg, 5)
 		b := n.AddAP("AP", 0, 0, 1)
 		st := n.AddStation(b, "sta", distM, 0)
-		n.AddFlow(st, nil, Saturated{PayloadBytes: 1000})
+		n.Add(FlowSpec{From: st, AC: AC_BE, Gen: Saturated{PayloadBytes: 1000}})
 		return n.Run(300000)
 	}
 	meanRate := func(r Result) float64 {
@@ -291,7 +291,7 @@ func TestArfWalkerDownshiftsWalkingAway(t *testing.T) {
 	b := n.AddAP("AP", 0, 0, 1)
 	st := n.AddStation(b, "walker", 5, 0)
 	n.SetVelocity(st, 30, 0) // 5 m -> 155 m over 5 s
-	n.AddFlow(st, nil, Saturated{PayloadBytes: 1000})
+	n.Add(FlowSpec{From: st, AC: AC_BE, Gen: Saturated{PayloadBytes: 1000}})
 	res := n.Run(5e6)
 	if res.ModeAttempts["OFDM 54 Mbps"] == 0 {
 		t.Errorf("walker never used the top rate near the AP: %v", res.ModeAttempts)
@@ -338,7 +338,7 @@ func TestTrafficGenValidation(t *testing.T) {
 			n := New(DefaultConfig(), 1)
 			b := n.AddAP("AP", 0, 0, 1)
 			st := n.AddStation(b, "sta", 10, 0)
-			n.AddFlow(st, nil, tc.gen)
+			n.Add(FlowSpec{From: st, AC: AC_BE, Gen: tc.gen})
 			defer func() {
 				if recover() == nil {
 					t.Errorf("%s: Run did not panic", tc.name)
@@ -361,9 +361,9 @@ func TestApDownlinkInterleavesWithCtsReplies(t *testing.T) {
 	b := n.AddAP("AP", 0, 0, 1)
 	s1 := n.AddStation(b, "s1", -150, 0)
 	s2 := n.AddStation(b, "s2", 150, 0)
-	n.AddFlow(s1, nil, Saturated{PayloadBytes: 1200})
-	n.AddFlow(s2, nil, Saturated{PayloadBytes: 1200})
-	n.AddFlow(b.AP, s1, Poisson{PayloadBytes: 600, PktPerSec: 400})
+	n.Add(FlowSpec{From: s1, AC: AC_BE, Gen: Saturated{PayloadBytes: 1200}})
+	n.Add(FlowSpec{From: s2, AC: AC_BE, Gen: Saturated{PayloadBytes: 1200}})
+	n.Add(FlowSpec{From: b.AP, To: s1, AC: AC_BE, Gen: Poisson{PayloadBytes: 600, PktPerSec: 400}})
 	res := n.Run(1e6)
 	for _, f := range res.Flows {
 		if f.Delivered == 0 {
@@ -392,9 +392,9 @@ func TestRtsCtsRescuesBidirectionalHiddenTraffic(t *testing.T) {
 		b := n.AddAP("AP", 0, 0, 1)
 		s1 := n.AddStation(b, "s1", 150, 0)
 		s2 := n.AddStation(b, "s2", -150, 0)
-		n.AddFlow(s1, nil, Saturated{PayloadBytes: 1500})
-		n.AddFlow(s2, nil, Saturated{PayloadBytes: 1500})
-		n.AddFlow(b.AP, s1, Saturated{PayloadBytes: 1500})
+		n.Add(FlowSpec{From: s1, AC: AC_BE, Gen: Saturated{PayloadBytes: 1500}})
+		n.Add(FlowSpec{From: s2, AC: AC_BE, Gen: Saturated{PayloadBytes: 1500}})
+		n.Add(FlowSpec{From: b.AP, To: s1, AC: AC_BE, Gen: Saturated{PayloadBytes: 1500}})
 		return n.Run(1e6)
 	}
 	plain, rts := run(0), run(1)

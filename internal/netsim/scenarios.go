@@ -56,6 +56,22 @@ func DenseGrid(cfg Config, nBSS, staPerBSS int, channels []int, spacingM float64
 	}
 }
 
+// SingleLink is one saturated uplink station at distM from its AP —
+// the cleanest stage for the MAC-efficiency story E26 tells: at a
+// fixed PHY rate, how much of the line rate survives per-frame
+// overhead, and how much A-MPDU aggregation buys back.
+func SingleLink(cfg Config, distM float64, payloadBytes int) func(seed int64) *Network {
+	checkPositive("SingleLink", "distM", distM)
+	checkCount("SingleLink", "payloadBytes", payloadBytes, 1)
+	return func(seed int64) *Network {
+		n := New(cfg, seed)
+		b := n.AddAP("AP", 0, 0, 1)
+		st := n.AddStation(b, "sta", distM, 0)
+		n.Add(FlowSpec{From: st, AC: AC_BE, Gen: Saturated{PayloadBytes: payloadBytes}})
+		return n
+	}
+}
+
 // mixStation places one station for a traffic-mix scenario on a
 // jittered ring around the BSS's AP.
 func mixStation(n *Network, b *BSS, kind string, i int) *Node {

@@ -22,6 +22,14 @@ type FlowStats struct {
 	MaxDelayUs  float64
 	P95DelayUs  float64 // 95th percentile of end-to-end delay
 	JitterUs    float64 // RFC 3550 smoothed delay variation
+
+	// MacEfficiency is goodput divided by the mean PHY rate the flow's
+	// data MPDUs were attempted at: the fraction of the line rate that
+	// survives preamble/SIFS/ACK overhead, contention, and losses. This
+	// is the figure the 802.11n aggregation story is about — it
+	// collapses as the PHY rate grows under single-frame exchanges and
+	// is restored by A-MPDU.
+	MacEfficiency float64
 }
 
 // DropRate is the fraction of arrivals that never got through.
@@ -49,6 +57,11 @@ func (f *Flow) stats(durationUs float64) FlowStats {
 		JitterUs:   f.jitterUs,
 	}
 	s.GoodputMbps = float64(8*f.bytesDelivered) / durationUs
+	if f.mpduAttempts > 0 {
+		if mean := f.rateSumMbps / float64(f.mpduAttempts); mean > 0 {
+			s.MacEfficiency = s.GoodputMbps / mean
+		}
+	}
 	if len(f.delaysUs) > 0 {
 		s.MeanDelayUs = mathx.Mean(f.delaysUs)
 		_, s.MaxDelayUs = mathx.MinMax(f.delaysUs)

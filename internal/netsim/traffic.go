@@ -148,6 +148,20 @@ type Flow struct {
 	lastDelayUs           float64
 	hasLast               bool
 	saturated             bool
+
+	// MPDU-attempt accounting for the MAC-efficiency stat: how many
+	// data MPDUs carried this flow's packets onto the air, and the sum
+	// of the PHY rates they rode (so goodput can be held against the
+	// mean attempted rate even under ARF).
+	mpduAttempts int
+	rateSumMbps  float64
+}
+
+// attemptedMpdu records one on-air data MPDU carrying the flow at the
+// given PHY rate.
+func (f *Flow) attemptedMpdu(rateMbps float64) {
+	f.mpduAttempts++
+	f.rateSumMbps += rateMbps
 }
 
 // viaAP reports whether the flow is a STA↔STA stream relayed through
@@ -157,7 +171,9 @@ func (f *Flow) viaAP() bool {
 }
 
 // start validates the generator, resolves the effective access
-// category, and seeds the arrival process.
+// category, and seeds the arrival process. A saturated flow begins with
+// its full burst depth queued, so aggregation can fill an A-MPDU from
+// the first transmit opportunity.
 func (f *Flow) start() {
 	f.Gen.validate()
 	f.ac = f.AC
@@ -166,23 +182,64 @@ func (f *Flow) start() {
 	}
 	if f.Gen.isSaturated() {
 		f.saturated = true
-		f.arrive()
+		f.topUp()
 		return
 	}
-	f.net.eng.Schedule(f.Gen.firstGapUs(f.net.src), f.arrive)
+	f.net.eng.Schedule(f.Gen.firstGapUs(f.net.src), func() { f.arrive() })
 }
 
 // arrive enqueues one packet at the flow's injection node and, for
 // timed generators, schedules the next arrival. A full queue charges
-// the flow's drop counter from inside enqueue.
-func (f *Flow) arrive() {
+// the flow's drop counter from inside enqueue; the report lets topUp
+// stop instead of hammering a full queue.
+func (f *Flow) arrive() bool {
 	f.arrivals++
 	p := &packet{flow: f, bytes: f.Gen.Bytes(), arrivalUs: f.net.eng.Now(), ac: f.ac}
-	f.src.enqueue(p)
+	ok := f.src.enqueue(p)
 	if f.saturated {
-		return
+		return ok
 	}
-	f.net.eng.Schedule(f.Gen.nextGapUs(f.net.src), f.arrive)
+	f.net.eng.Schedule(f.Gen.nextGapUs(f.net.src), func() { f.arrive() })
+	return ok
+}
+
+// burstDepth is how many packets a saturated flow keeps queued: one
+// under single-frame exchanges (the legacy full-buffer model drip-feeds
+// the queue), a whole A-MPDU's worth with aggregation on — a saturated
+// sender's buffer is never the reason a burst runs short.
+func (f *Flow) burstDepth() int {
+	agg := f.net.cfg.Aggregation
+	if agg == nil {
+		return 1
+	}
+	d := agg.MaxAmpduFrames
+	if lim := f.net.edca[f.ac].QueueLimit; d > lim {
+		d = lim
+	}
+	return d
+}
+
+// queuedAtSrc counts the flow's own packets waiting at its injection
+// node (the per-AC queue may be shared with other flows).
+func (f *Flow) queuedAtSrc() int {
+	cnt := 0
+	for _, p := range f.src.acq[f.ac].queue {
+		if p.flow == f {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// topUp fills a saturated flow's queue back to its burst depth. One
+// queue scan decides how many arrivals are owed — arrive/enqueue is
+// synchronous, so nothing changes the queue between them.
+func (f *Flow) topUp() {
+	for owed := f.burstDepth() - f.queuedAtSrc(); owed > 0; owed-- {
+		if !f.arrive() {
+			return
+		}
+	}
 }
 
 // refill tops a saturated flow back up after its packet left the source
@@ -191,7 +248,7 @@ func (f *Flow) arrive() {
 // packet to the AP, so the AP-side departure must not refill again.
 func (f *Flow) refill(tx *Node) {
 	if f.saturated && !(f.viaAP() && tx.ap) {
-		f.arrive()
+		f.topUp()
 	}
 }
 
@@ -201,7 +258,7 @@ func (f *Flow) refill(tx *Node) {
 func (f *Flow) relayed(p *packet, ap *Node) {
 	ap.enqueue(p)
 	if f.saturated {
-		f.arrive()
+		f.topUp()
 	}
 }
 

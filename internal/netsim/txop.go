@@ -1,0 +1,276 @@
+package netsim
+
+import "repro/internal/linkmodel"
+
+// The TXOP frame-exchange layer. A queue that wins contention no longer
+// fires a hard-coded frame pattern: it obtains a Txop bounded by its
+// category's AcParams.TxopLimitUs and fills it with exchanges assembled
+// by buildExchange. One exchange is the composable unit — optional
+// RTS/CTS protection in front of either a single MPDU closed by an ACK
+// or an A-MPDU burst closed by a Block-ACK — and a TXOP with a nonzero
+// limit chains exchanges SIFS-to-SIFS until the next one would no
+// longer fit. The degenerate configuration (all limits zero,
+// Config.Aggregation nil) plays exactly one single-MPDU exchange per
+// channel access, reproducing the pre-TXOP simulator bit for bit; the
+// compat goldens in testdata pin that down.
+//
+// The SIFS gap between chained exchanges needs no extra reservation
+// machinery: SIFS is shorter than every AIFS/DIFS, so no contender can
+// complete its arbitration inter-frame space before the holder's next
+// frame raises carrier sense again.
+
+// Txop is one transmit opportunity: the contention win that lets a
+// queue run one or more frame exchanges without re-contending.
+type Txop struct {
+	q *acQueue
+
+	// StartUs is when the winning backoff expired; LimitUs is the
+	// category's TXOP limit (0 = a single exchange).
+	StartUs float64
+	LimitUs float64
+}
+
+// exchange is one frame sequence inside a Txop, assembled by
+// buildExchange.
+type exchange struct {
+	t    *Txop
+	rx   *Node
+	mode linkmodel.Mode
+
+	// mpdus are the queued packets this exchange carries. One MPDU
+	// rides a plain data+ACK; with ampdu set the whole slice rides one
+	// A-MPDU under a single preamble, judged per MPDU and closed by a
+	// Block-ACK.
+	mpdus []*packet
+	ampdu bool
+
+	// protect opens the exchange with RTS — SIFS — CTS.
+	protect bool
+}
+
+// buildExchange assembles the next exchange of t from the head of its
+// queue: resolve the receiver and data mode, then — with aggregation on
+// — extend the burst over the maximal queue prefix bound for the same
+// receiver under the MaxAmpduFrames/MaxAmpduBytes caps, trimmed so the
+// whole exchange fits in the TXOP's remaining time (a lone MPDU too
+// long for the limit still goes out — fragmentation is not modelled —
+// which matters only for the opening exchange; chained ones are
+// fit-checked at launch). RTS/CTS protection triggers on the
+// exchange's total payload.
+func (nd *Node) buildExchange(t *Txop) *exchange {
+	q := t.q
+	head := q.queue[0]
+	rx := head.dest(nd)
+	ex := &exchange{t: t, rx: rx, mode: nd.dataMode(rx), mpdus: []*packet{head}}
+	if agg := nd.net.cfg.Aggregation; agg != nil {
+		bytes := head.bytes
+		for _, p := range q.queue[1:] {
+			if len(ex.mpdus) >= agg.MaxAmpduFrames || p.dest(nd) != rx ||
+				bytes+p.bytes > agg.MaxAmpduBytes {
+				break
+			}
+			bytes += p.bytes
+			ex.mpdus = append(ex.mpdus, p)
+		}
+	}
+	ex.finalize(nd)
+	if t.LimitUs > 0 {
+		remaining := t.LimitUs + slotEps - (nd.net.eng.Now() - t.StartUs)
+		for len(ex.mpdus) > 1 && ex.airUs() > remaining {
+			ex.mpdus = ex.mpdus[:len(ex.mpdus)-1]
+			ex.finalize(nd)
+		}
+	}
+	return ex
+}
+
+// finalize recomputes the burst/protection flags from the current MPDU
+// set (the TXOP-limit trim shrinks it after gathering).
+func (ex *exchange) finalize(nd *Node) {
+	ex.ampdu = len(ex.mpdus) > 1
+	ex.protect = nd.net.cfg.RtsThresholdBytes > 0 && ex.totalBytes() >= nd.net.cfg.RtsThresholdBytes
+}
+
+// totalBytes is the exchange's summed MPDU payload.
+func (ex *exchange) totalBytes() int {
+	b := 0
+	for _, p := range ex.mpdus {
+		b += p.bytes
+	}
+	return b
+}
+
+// dataAirUs is the medium occupancy of the exchange's data portion
+// including its closing ACK or Block-ACK.
+func (ex *exchange) dataAirUs() float64 {
+	net := ex.t.q.node.net
+	if ex.ampdu {
+		return net.ampduAirUs(ex.mode, ex.totalBytes())
+	}
+	return net.airtimeUs(ex.mode, ex.mpdus[0].bytes)
+}
+
+// airUs is the exchange's full medium span, RTS/CTS protection
+// included.
+func (ex *exchange) airUs() float64 {
+	air := ex.dataAirUs()
+	if ex.protect {
+		net := ex.t.q.node.net
+		air += net.rtsAirUs() + net.cfg.Dcf.SIFSUs + net.ctsAirUs() + net.cfg.Dcf.SIFSUs
+	}
+	return air
+}
+
+// launch opens one exchange of the node's current TXOP: charge the
+// attempt, take A-MPDU packets out of the queue (they come back through
+// the Block-ACK bitmap if lost), and put the first frame on the air —
+// the RTS when the exchange is protected, the data burst otherwise.
+func (nd *Node) launch(ex *exchange) {
+	pkt := ex.mpdus[0]
+	nd.curPkt = pkt
+	nd.net.attempts[pkt.ac]++
+	if ex.ampdu {
+		q := ex.t.q
+		q.queue = q.queue[len(ex.mpdus):]
+	}
+	if ex.protect {
+		nd.sendRts(ex)
+		return
+	}
+	nd.sendData(ex)
+}
+
+// nextExchange continues a held TXOP one SIFS after the previous
+// exchange ended. The exchange is rebuilt from the live queue head —
+// never from state planned before the gap, which a roam handoff in the
+// SIFS could have invalidated — and launched only if it still fits
+// inside the limit; otherwise the opportunity is released.
+func (nd *Node) nextExchange() {
+	t := nd.txop
+	if len(t.q.queue) > 0 {
+		ex := nd.buildExchange(t)
+		if nd.net.eng.Now()+ex.airUs()-t.StartUs <= t.LimitUs+slotEps {
+			nd.launch(ex)
+			return
+		}
+	}
+	nd.endTxop()
+}
+
+// endTxop releases the transmit opportunity: the node stands down as a
+// transmitter and every backlogged category re-enters contention with a
+// fresh arbitration inter-frame space, exactly as after a single
+// exchange.
+func (nd *Node) endTxop() {
+	nd.transmitting = false
+	nd.curPkt = nil
+	nd.txop = nil
+	nd.recontend()
+}
+
+// holdsTxop reports whether the TXOP both allows another exchange and
+// has backlog to fill it.
+func (nd *Node) holdsTxop() bool {
+	t := nd.txop
+	return t != nil && t.LimitUs > 0 && len(t.q.queue) > 0
+}
+
+// completeAmpdu judges a finished A-MPDU burst MPDU by MPDU: every MPDU
+// is drawn independently against the mode's PER at the burst's
+// worst-overlap SINR (none survive when the receiver was busy or gone),
+// and the resulting bitmap feeds the Block-ACK protocol.
+func (nd *Node) completeAmpdu(tr *transmission) {
+	net := nd.net
+	ok := make([]bool, len(tr.ex.mpdus))
+	if !(tr.doomed || tr.rx.med != nd.med) {
+		per := tr.mode.PERAwgn(nd.med.sinrDB(tr))
+		for i := range ok {
+			ok[i] = net.src.Float64() >= per
+		}
+	}
+	nd.applyBlockAck(tr, ok)
+}
+
+// applyBlockAck plays out the Block-ACK protocol for a judged burst. If
+// anything got through, the Block-ACK comes back and its bitmap
+// retransmits exactly the failed subset: those packets return to the
+// head of the queue in their original order, each carrying its own
+// retry count. If nothing got through, no Block-ACK returns and the
+// whole burst retries. Contention state moves per TXOP outcome: a
+// received Block-ACK resets the window even when individual MPDUs
+// failed; a silent medium doubles it. ARF sees the same aggregate
+// verdict.
+func (nd *Node) applyBlockAck(tr *transmission, ok []bool) {
+	net := nd.net
+	ex := tr.ex
+	q := ex.t.q
+	ac := tr.pkt.ac
+	net.acAirtimeUs[ac] += ex.airUs()
+	// The burst is off the air; a requeued head MPDU must not read as
+	// in-flight to a roam handoff landing in the chained-SIFS gap.
+	nd.curPkt = nil
+	delivered := 0
+	for _, o := range ok {
+		if o {
+			delivered++
+		}
+	}
+	if net.cfg.Arf != nil {
+		if delivered > 0 {
+			nd.arfFor(tr.rx).OnSuccess()
+		} else {
+			nd.arfFor(tr.rx).OnFailure()
+		}
+	}
+	interfered := tr.interfered(mwFromDBm(net.noiseFloorDBm))
+	var requeue []*packet
+	for i, p := range ex.mpdus {
+		if ok[i] {
+			net.delivered[ac]++
+			if p.flow.viaAP() && tr.rx.ap {
+				p.flow.relayed(p, p.flow.To.bss.AP)
+			} else {
+				p.flow.delivered(p, net.eng.Now(), nd)
+			}
+			continue
+		}
+		if interfered {
+			net.collisions[ac]++
+		} else {
+			net.noiseLoss[ac]++
+		}
+		if to := p.flow.To; nd.ap && to != nil && !to.ap && to.bss.AP != nd {
+			// The destination reassociated while the burst was in
+			// flight: hand the MPDU to its current AP instead of
+			// retrying from one it no longer listens to.
+			p.retries = 0
+			to.bss.AP.enqueue(p)
+			continue
+		}
+		p.retries++
+		if p.retries > net.cfg.Dcf.RetryLimit {
+			net.retryDrops[ac]++
+			p.flow.dropped(nd)
+			continue
+		}
+		if delivered > 0 {
+			net.blockAckRetries++
+		}
+		requeue = append(requeue, p)
+	}
+	if len(requeue) > 0 {
+		q.queue = append(requeue, q.queue...)
+	}
+
+	if delivered > 0 {
+		q.cw = q.params().CWMin
+		q.retries = 0
+	} else {
+		q.exchangeFailed(false)
+	}
+	if delivered > 0 && nd.holdsTxop() {
+		net.eng.Schedule(net.cfg.Dcf.SIFSUs, nd.nextExchange)
+		return
+	}
+	nd.endTxop()
+}
