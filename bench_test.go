@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/netsim"
 )
 
 // benchCfg trims Monte-Carlo fidelity so a benchmark iteration stays in
@@ -70,3 +71,43 @@ func BenchmarkE23TrafficMix(b *testing.B) { benchExperiment(b, "E23") }
 func BenchmarkE24RtsCtsArf(b *testing.B)  { benchExperiment(b, "E24") }
 func BenchmarkE25EdcaQos(b *testing.B)    { benchExperiment(b, "E25") }
 func BenchmarkE26Ampdu(b *testing.B)      { benchExperiment(b, "E26") }
+
+// BenchmarkE27LargeFloor is the scale-push acceptance benchmark: one
+// 100-BSS co-channel floor in the high-density association profile (40
+// stations per BSS — 4100 nodes, one saturated sender per cell, the
+// rest idle keepalives) at an OBSS-PD-style -62 dBm carrier-sense
+// threshold, simulated for 2 s of virtual time. The indexed variant
+// uses the spatial grid + tracked-neighborhood carrier-sense path;
+// brute is the all-nodes membership scan kept behind
+// netsim.Config.DisableSpatialIndex as the bit-for-bit oracle. Setup
+// (the O(n²) gain matrix, via Prepare) is excluded from the timing so
+// ns/op measures the event-loop hot path the index rebuilt; the
+// indexed/brute ratio is the speedup — ≥3x at this size.
+func BenchmarkE27LargeFloor(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"indexed", false},
+		{"brute", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := netsim.DefaultConfig()
+			cfg.CSThresholdDBm = -62 // OBSS-PD-style spatial reuse, as in E27
+			cfg.DisableSpatialIndex = mode.disable
+			build := netsim.LargeFloor(cfg, 100, 40, 10, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				n := build(int64(i + 1))
+				n.Prepare()
+				b.StartTimer()
+				r := n.Run(2e6)
+				if r.Delivered == 0 {
+					b.Fatal("floor delivered nothing")
+				}
+			}
+		})
+	}
+}

@@ -15,11 +15,15 @@
 //	netsim -scenario roam -arf         # per-frame rate fallback
 //	netsim -scenario roam -downlink    # downlink queue follows the walker
 //	netsim -scenario dense -compare   # serial vs parallel wall-clock
+//	netsim -floor                      # 100-BSS high-density association floor (E27)
+//	netsim -floor -bss 144 -sta 40 -channels 1,6,11
+//	netsim -floor -no-spatial          # brute-force carrier-sense oracle
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -32,9 +36,11 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "dense", "dense | mix | hidden | roam")
-	nBSS := flag.Int("bss", 3, "number of BSSs (dense)")
-	sta := flag.Int("sta", 17, "stations per BSS (dense)")
+	scenario := flag.String("scenario", "dense", "dense | mix | hidden | roam | floor")
+	floor := flag.Bool("floor", false, "shorthand for the large-floor preset: -scenario floor with 100 BSSs, 10 stations each, 1/6/11 reuse, and -62 dBm OBSS-PD carrier sense unless overridden")
+	nBSS := flag.Int("bss", 3, "number of BSSs (dense, floor)")
+	sta := flag.Int("sta", 17, "stations per BSS (dense, floor; floor saturates the first station per BSS and idles the rest)")
+	cols := flag.Int("cols", 0, "AP grid columns (floor); 0 = square-ish")
 	channelList := flag.String("channels", "1", "comma-separated channel assignment, cycled over BSSs")
 	payload := flag.Int("payload", 1000, "payload bytes")
 	durationS := flag.Float64("duration", 1.0, "virtual time per run, seconds")
@@ -48,6 +54,8 @@ func main() {
 	txop := flag.Bool("txop", false, "802.11e default per-AC TXOP limits (AC_VO 1.504 ms, AC_VI 3.008 ms): a winner chains SIFS-separated exchanges; requires -edca")
 	ampdu := flag.Int("ampdu", 0, "A-MPDU aggregation: max MPDUs per burst with Block-ACK partial retransmission (0 = off)")
 	downlink := flag.Bool("downlink", false, "source flows at the AP instead of the stations (mix: per-AC queues at the AP; roam: the queue follows the walker between APs)")
+	csDBm := flag.Float64("cs", -82, "carrier-sense (energy-detect) threshold in dBm (floor preset defaults to -62 unless set)")
+	noSpatial := flag.Bool("no-spatial", false, "disable the spatial carrier-sense index and use the brute-force all-nodes scan (the equivalence-test oracle)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	compare := flag.Bool("compare", false, "time the seed sweep serially and with the worker pool")
 	flag.Parse()
@@ -66,8 +74,33 @@ func main() {
 		channels = append(channels, ch)
 	}
 
+	// The floor preset fills in scale defaults only for flags the user
+	// did not set on the command line (an explicit "-bss 3" means 3
+	// BSSs, even though that is also the dense-scenario default).
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *floor {
+		*scenario = "floor"
+		if !set["bss"] {
+			*nBSS = 100
+		}
+		if !set["sta"] {
+			*sta = 10
+		}
+		if !set["channels"] {
+			channels = []int{1, 6, 11}
+		}
+	}
+
 	cfg := netsim.DefaultConfig()
 	cfg.RtsThresholdBytes = *rts
+	cfg.DisableSpatialIndex = *noSpatial
+	if *scenario == "floor" && !set["cs"] {
+		*csDBm = -62 // OBSS-PD-style spatial reuse, as in E27
+	}
+	if set["cs"] || *scenario == "floor" {
+		cfg.CSThresholdDBm = *csDBm
+	}
 	if *arf {
 		a := mac.DefaultArf()
 		cfg.Arf = &a
@@ -96,6 +129,12 @@ func main() {
 	switch *scenario {
 	case "dense":
 		build = netsim.DenseGrid(cfg, *nBSS, *sta, channels, 25, *payload)
+	case "floor":
+		c := *cols
+		if c <= 0 {
+			c = int(math.Ceil(math.Sqrt(float64(*nBSS))))
+		}
+		build = netsim.LargeFloor(cfg, *nBSS, *sta, c, channels...)
 	case "mix":
 		if *downlink {
 			build = netsim.TrafficMixDownlink(cfg, 6, 4, 2, *dataMbps)

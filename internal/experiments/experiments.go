@@ -63,6 +63,7 @@ func All() []Runner {
 		{"E24", "Hidden-terminal RTS/CTS + NAV rescue and per-frame ARF (netsim)", E24RtsCtsHidden},
 		{"E25", "EDCA access categories: voice tail latency vs legacy DCF (netsim)", E25EdcaQos},
 		{"E26", "A-MPDU aggregation restores MAC efficiency at high PHY rate (netsim)", E26AmpduEfficiency},
+		{"E27", "Large-floor density sweep: 25-144 BSSs with spatial reuse (netsim)", E27LargeFloorScale},
 	}
 }
 

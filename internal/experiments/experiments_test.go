@@ -405,3 +405,36 @@ func TestE24RtsRecoveryAndArfStaircase(t *testing.T) {
 		t.Errorf("mean attempted rate far %v not below near %v", far, near)
 	}
 }
+
+func TestE27DensityScalesUnderSpatialReuse(t *testing.T) {
+	tb := E27LargeFloorScale(Quick())[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// Columns: nBSS, nodes, agg Mbps, per-BSS Mbps, BSS Jain, collision
+	// rate, wall. With 1/6/11 reuse and an OBSS-PD-style CS threshold,
+	// aggregate capacity must keep growing with floor density...
+	prev := 0.0
+	for _, row := range tb.Rows {
+		agg := parse(t, row[2])
+		if agg <= prev {
+			t.Errorf("aggregate throughput stopped growing with density: %v after %v Mbps", agg, prev)
+		}
+		prev = agg
+	}
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if a0, aN := parse(t, first[2]), parse(t, last[2]); aN < 3*a0 {
+		t.Errorf("144 BSSs deliver %v Mbps vs %v for 25; spatial reuse should multiply capacity", aN, a0)
+	}
+	// ...the per-BSS share must hold up (parallel cells, not a shared
+	// collision domain slicing one cell's capacity ever thinner)...
+	if p0, pN := parse(t, first[3]), parse(t, last[3]); pN < 0.5*p0 {
+		t.Errorf("per-BSS share collapsed with density: %v -> %v Mbps", p0, pN)
+	}
+	// ...and the floor must stay fair across BSSs.
+	for _, row := range tb.Rows {
+		if j := parse(t, row[4]); j < 0.9 || j > 1+1e-9 {
+			t.Errorf("%s BSSs: per-BSS Jain %v outside [0.9, 1]", row[0], j)
+		}
+	}
+}

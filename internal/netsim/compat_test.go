@@ -110,6 +110,18 @@ func compatScenarios() []struct {
 		{"roam-downlink-edca", func() Result {
 			return RoamingWalkDownlink(roamCfg(), 120, 20)(3).Run(2e6)
 		}},
+		// large-floor pins the PR 5 scale path (spatial index, pooled
+		// events, tracked carrier sense) on a 25-BSS single-channel
+		// slice of the E27 workload — 100 nodes on one medium, above
+		// the small-channel cutover, so the golden really runs the
+		// indexed carrier sense. Captured at its introduction, after
+		// the index-on/index-off equivalence suite proved the path
+		// against the brute-force oracle.
+		{"large-floor", func() Result {
+			cfg := DefaultConfig()
+			cfg.CSThresholdDBm = -62
+			return LargeFloor(cfg, 25, 3, 5, 1)(21).Run(1e5)
+		}},
 	}
 }
 

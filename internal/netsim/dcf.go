@@ -55,7 +55,7 @@ type acQueue struct {
 	backoffSlots int
 	retries      int
 	contending   bool
-	boEvent      *sim.Event
+	boEvent      sim.EventRef
 	boStartUs    float64
 	fireAtUs     float64
 }
@@ -74,6 +74,7 @@ func (nd *Node) enqueue(p *packet) bool {
 		p.flow.queueDrops++
 		return false
 	}
+	nd.joinCS()
 	q.queue = append(q.queue, p)
 	if !q.contending && !nd.transmitting {
 		q.startContention()
@@ -103,6 +104,7 @@ func (nd *Node) recontend() {
 			q.tryResume()
 		}
 	}
+	nd.maybeLeaveCS()
 }
 
 // tryResume arms the category's countdown event when the medium is
@@ -111,7 +113,7 @@ func (nd *Node) recontend() {
 // backoff slots.
 func (q *acQueue) tryResume() {
 	nd := q.node
-	if !q.contending || nd.transmitting || nd.busyCount > 0 || q.boEvent != nil {
+	if !q.contending || nd.transmitting || nd.busyCount > 0 || q.boEvent.Scheduled() {
 		return
 	}
 	if nd.navUntilUs > nd.net.eng.Now()+slotEps {
@@ -139,17 +141,17 @@ func (nd *Node) tryResume() {
 // highest category — the 802.11e virtual collision — and the winner
 // transmits.
 func (q *acQueue) fire() {
-	q.boEvent = nil
+	q.boEvent = sim.EventRef{}
 	nd := q.node
 	now := nd.net.eng.Now()
 	winner := q
 	for ac := range nd.acq {
 		s := &nd.acq[ac]
-		if s == q || s.boEvent == nil || s.fireAtUs > now+slotEps {
+		if s == q || !s.boEvent.Scheduled() || s.fireAtUs > now+slotEps {
 			continue
 		}
 		s.boEvent.Cancel()
-		s.boEvent = nil
+		s.boEvent = sim.EventRef{}
 		if s.ac > winner.ac {
 			winner.virtualCollision()
 			winner = s
@@ -209,11 +211,11 @@ func (nd *Node) pause() {
 	var ready *acQueue
 	for ac := range nd.acq {
 		q := &nd.acq[ac]
-		if q.boEvent == nil {
+		if !q.boEvent.Scheduled() {
 			continue
 		}
 		q.boEvent.Cancel()
-		q.boEvent = nil
+		q.boEvent = sim.EventRef{}
 		if q.bankElapsedSlots() && q.backoffSlots == 0 {
 			if ready == nil {
 				ready = q
@@ -236,11 +238,11 @@ func (nd *Node) pause() {
 func (nd *Node) freezeBackoff() {
 	for ac := range nd.acq {
 		q := &nd.acq[ac]
-		if q.boEvent == nil {
+		if !q.boEvent.Scheduled() {
 			continue
 		}
 		q.boEvent.Cancel()
-		q.boEvent = nil
+		q.boEvent = sim.EventRef{}
 		q.bankElapsedSlots()
 	}
 }
@@ -281,11 +283,9 @@ func (nd *Node) shrinkNav(untilUs float64) {
 }
 
 func (nd *Node) armNavEvent(untilUs float64) {
-	if nd.navEvent != nil {
-		nd.navEvent.Cancel()
-	}
+	nd.navEvent.Cancel()
 	nd.navEvent = nd.net.eng.At(untilUs, func() {
-		nd.navEvent = nil
+		nd.navEvent = sim.EventRef{}
 		nd.tryResume()
 	})
 }
@@ -425,7 +425,10 @@ func (nd *Node) sendCts(rts *transmission) {
 	// (SIFS < DIFS and every AIFS); freeze it for the reply. The CTS
 	// carries the PEER's packet, not one of ours: curPkt stays nil so a
 	// roam handoff during the CTS airtime cannot mistake our own queued
-	// head for an in-flight frame.
+	// head for an in-flight frame. An otherwise-idle responder joins
+	// carrier-sense bookkeeping for the reply so its busyCount is live
+	// when it stands down.
+	nd.joinCS()
 	nd.freezeBackoff()
 	nd.transmitting = true
 	nd.curPkt = nil
@@ -552,7 +555,7 @@ func (nd *Node) fail(tr *transmission) {
 		// complete/completeAmpdu.
 		net.acAirtimeUs[ac] += net.rtsAirUs()
 	}
-	if tr.interfered(mwFromDBm(net.noiseFloorDBm)) {
+	if tr.interfered(net.noiseFloorMw) {
 		net.collisions[ac]++
 	} else {
 		net.noiseLoss[ac]++

@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// The spatial-index equivalence harness. The grid in spatial.go is a
+// pure lookup accelerator: it must never change which nodes sense a
+// frame, adopt a NAV, or the order those effects apply in — so every
+// scenario, run with the index on and with the brute-force oracle
+// (Config.DisableSpatialIndex), must produce bit-identical Results.
+// This extends PR 4's golden-fingerprint technique from "new tree vs
+// recorded hashes" to "two live configurations of the same tree",
+// which catches index bugs on any seed instead of only the recorded
+// ones. Fingerprints come from compat_test.go and cover every counter,
+// per-AC/per-flow stat, and float in a Result.
+
+// equivSeeds is the per-scenario seed fan-out; ≥5 per the harness
+// contract so a single lucky event ordering cannot hide a divergence.
+const equivSeeds = 5
+
+// equivScenarios covers every scenario preset plus the stressors the
+// index must survive: per-pair shadowing (query radii must widen to the
+// luckiest draw), RTS/CTS (NAV adoption queries at decode range),
+// roaming with downlink handoff (incremental grid updates and medium
+// migration), and the 3-channel LargeFloor with an OBSS-PD-style CS
+// threshold (many small neighborhoods — the case the index exists for).
+func equivScenarios() []struct {
+	name       string
+	durationUs float64
+	build      func(cfg Config) func(seed int64) *Network
+} {
+	return []struct {
+		name       string
+		durationUs float64
+		build      func(cfg Config) func(seed int64) *Network
+	}{
+		{"single-link", 2e5, func(cfg Config) func(int64) *Network {
+			return SingleLink(cfg, 12, 1000)
+		}},
+		{"dense-grid-cochannel", 1.5e5, func(cfg Config) func(int64) *Network {
+			return DenseGrid(cfg, 3, 3, []int{1}, 25, 900)
+		}},
+		// 8 BSS x 8 saturated stations on ONE channel = 72 nodes on one
+		// medium — above medium.bruteScanCutoff, so the indexed run
+		// really takes the grid path, with shadowing widening the query
+		// radii.
+		{"dense-grid-shadowed", 1e5, func(cfg Config) func(int64) *Network {
+			cfg.PathLoss.ShadowDB = 5
+			return DenseGrid(cfg, 8, 8, []int{1}, 30, 900)
+		}},
+		{"traffic-mix", 2e5, func(cfg Config) func(int64) *Network {
+			return TrafficMix(cfg, 3, 2, 1, 2)
+		}},
+		{"hidden-pair-rtscts", 2e5, func(cfg Config) func(int64) *Network {
+			return HiddenPairRtsCts(cfg, 300, 1250)
+		}},
+		{"roaming-walk-downlink", 2e6, func(cfg Config) func(int64) *Network {
+			cfg.RoamIntervalUs = 100000
+			e := DefaultEdca(cfg.Dcf, cfg.QueueLimit)
+			cfg.Edca = &e
+			return RoamingWalkDownlink(cfg, 120, 20)
+		}},
+		// 36 BSS x (1 saturated + 1 keepalive) on ONE channel = 108
+		// nodes on one medium: the grid hood cache, tracked-list
+		// patching, and pooled buffers all engage (the 3-channel E27
+		// shape splits below the cutover; this variant is the one that
+		// exercises the index inside a full simulation).
+		{"large-floor-reuse", 3e4, func(cfg Config) func(int64) *Network {
+			cfg.CSThresholdDBm = -62 // OBSS-PD-style spatial reuse
+			return LargeFloor(cfg, 36, 2, 6, 1)
+		}},
+	}
+}
+
+func TestSpatialIndexEquivalence(t *testing.T) {
+	for _, sc := range equivScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= equivSeeds; seed++ {
+				run := func(disable bool) string {
+					cfg := DefaultConfig()
+					cfg.DisableSpatialIndex = disable
+					return fingerprint(sc.build(cfg)(seed).Run(sc.durationUs))
+				}
+				indexed, brute := run(false), run(true)
+				if indexed != brute {
+					t.Fatalf("seed %d: indexed run diverged from the brute-force oracle\nindexed:\n%s\nbrute:\n%s",
+						seed, indexed, brute)
+				}
+			}
+		})
+	}
+}

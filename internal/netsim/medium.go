@@ -17,6 +17,17 @@ type medium struct {
 	nodes   []*Node
 	active  []*transmission
 
+	// grid is the spatial index over node positions (spatial.go); nil
+	// when Config.DisableSpatialIndex keeps the brute-force scan as the
+	// test oracle. nextOrd numbers membership so indexed candidate sets
+	// can be replayed in exactly the brute-force iteration order. bufs
+	// is a free stack of query buffers — a stack, not a single slice,
+	// because start can re-enter itself through a carrier-sense pause
+	// that launches a same-instant transmission.
+	grid    *spatialGrid
+	nextOrd int
+	bufs    [][]*Node
+
 	// union busy-time accounting for the airtime-fraction stat
 	busyUs      float64
 	busyStartUs float64
@@ -32,6 +43,16 @@ const (
 	frameRts
 	frameCts
 )
+
+// contribution is one interference term this transmission added to a
+// concurrent one, snapshotted at the moment it was added. finish
+// subtracts exactly these milliwatts — recomputing the gain at finish
+// time would unwind a different figure when an endpoint roamed
+// mid-frame, leaving residue in the victim's interference sum.
+type contribution struct {
+	to *transmission
+	mw float64
+}
 
 // transmission is one frame in flight (a data+ACK exchange, an RTS, or
 // a CTS). Interference at the receiver is tracked as a running sum of
@@ -56,6 +77,11 @@ type transmission struct {
 
 	curIntfMw float64
 	maxIntfMw float64
+	// contrib lists the interference this transmission crossed into
+	// concurrent ones, with the added milliwatts snapshotted; done marks
+	// the frame off the air so late subtractions skip it.
+	contrib []contribution
+	done    bool
 	// doomed marks half-duplex conflicts: the receiver was (or began)
 	// transmitting while this frame was on the air.
 	doomed bool
@@ -87,14 +113,118 @@ func (t *transmission) dropSensed(nd *Node) {
 	}
 }
 
+// insertSensed files nd into the release list at its membership
+// position — exactly the slot the start-time scan would have given it —
+// so the finish-time resume order (which schedules events, i.e. is
+// simulation state) cannot tell a late joiner from a node sensed all
+// along.
+func (t *transmission) insertSensed(nd *Node) {
+	i := len(t.sensed)
+	for i > 0 && t.sensed[i-1].ord > nd.ord {
+		i--
+	}
+	t.sensed = append(t.sensed, nil)
+	copy(t.sensed[i+1:], t.sensed[i:])
+	t.sensed[i] = nd
+}
+
 func (t *transmission) subInterference(mw float64) {
 	t.curIntfMw -= mw
 	if t.curIntfMw < 0 {
-		// Float residue, or a gain that shifted between add and sub
-		// because the endpoint moved mid-frame.
+		// Float residue from summing many terms.
 		t.curIntfMw = 0
 	}
 }
+
+// addNode appends a node to the medium's membership, numbering it so
+// candidate sets can be sorted back into membership order, and files it
+// in the spatial index.
+func (m *medium) addNode(nd *Node) {
+	nd.ord = m.nextOrd
+	m.nextOrd++
+	m.nodes = append(m.nodes, nd)
+	if m.grid != nil {
+		m.grid.add(nd)
+	}
+}
+
+// remove drops a node from the medium's membership (roam to another
+// channel). Carrier-sense state is re-baselined by the caller.
+func (m *medium) remove(nd *Node) {
+	if m.grid != nil {
+		m.grid.remove(nd)
+	}
+	for i, x := range m.nodes {
+		if x == nd {
+			m.nodes = append(m.nodes[:i], m.nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// bruteScanCutoff is the membership size below which the linear scan
+// beats the grid query (cell map lookups plus the membership-order sort
+// cost more than walking a few dozen gain-matrix rows). The two paths
+// are bit-for-bit equivalent, so the cutover is purely a speed choice.
+const bruteScanCutoff = 64
+
+// csCandidates returns the nodes the carrier-sense scan must consider
+// for a transmission from tx: the whole membership when the index is
+// off or the channel is small (the scan then filters on csTracked
+// itself), otherwise the cached tracked-neighborhood list — already
+// restricted to nodes with live carrier-sense state and sorted into
+// membership order, the exact order the brute-force scan would visit
+// (event scheduling depends on it).
+func (m *medium) csCandidates(tx *Node) []*Node {
+	if m.grid == nil || len(m.nodes) <= bruteScanCutoff {
+		return m.nodes
+	}
+	return m.grid.hood(tx)
+}
+
+// navCandidates returns the nodes that could possibly decode tx's
+// control frame and adopt its NAV — untracked nodes included, since an
+// idle station's NAV matters the moment traffic arrives. pooled reports
+// that the slice came from the buffer stack and must be returned via
+// putBuf after the scan.
+func (m *medium) navCandidates(tx *Node) (cands []*Node, pooled bool) {
+	if m.grid == nil || len(m.nodes) <= bruteScanCutoff {
+		return m.nodes, false
+	}
+	buf := m.getBuf()
+	buf = m.grid.query(tx.X, tx.Y, m.net.navRangeM, buf)
+	sortByOrd(buf)
+	return buf, true
+}
+
+// sortByOrd restores membership order over the gathered cells.
+// Insertion sort: each cell's bucket is already ascending in the common
+// case (membership adds append in ord order; only roaming disturbs a
+// bucket), so the input is a handful of nearly-sorted runs and the sort
+// runs in about one comparison per element without the closure-call
+// overhead of the generic sort.
+func sortByOrd(nodes []*Node) {
+	for i := 1; i < len(nodes); i++ {
+		nd := nodes[i]
+		j := i - 1
+		for j >= 0 && nodes[j].ord > nd.ord {
+			nodes[j+1] = nodes[j]
+			j--
+		}
+		nodes[j+1] = nd
+	}
+}
+
+func (m *medium) getBuf() []*Node {
+	if n := len(m.bufs); n > 0 {
+		b := m.bufs[n-1][:0]
+		m.bufs = m.bufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (m *medium) putBuf(b []*Node) { m.bufs = append(m.bufs, b) }
 
 // start puts tr on the air: it crosses interference with every active
 // transmission, then raises carrier sense at nodes in range. Nodes
@@ -108,24 +238,49 @@ func (m *medium) start(tr *transmission) {
 	prev := m.active
 	m.active = append(m.active, tr)
 
+	// Snapshot the crossed interference only when gains can actually
+	// change mid-frame (roamScan is the one thing that moves nodes);
+	// on a static floor finish recomputes the identical figure from the
+	// gain matrix, sparing two list appends per overlapping pair in the
+	// densest part of the hot loop.
+	snap := m.net.cfg.RoamIntervalUs > 0
 	for _, a := range prev {
 		if a.rx == tr.tx {
 			// The node a was addressed to is now talking over it.
 			a.doomed = true
 		}
 		if a.rx != tr.tx {
-			a.addInterference(mwFromDBm(m.net.rxPowerDBm(tr.tx, a.rx)))
+			mw := m.net.rxPowerMw(tr.tx, a.rx)
+			a.addInterference(mw)
+			if snap {
+				tr.contrib = append(tr.contrib, contribution{a, mw})
+			}
 		}
 		if a.tx != tr.rx {
-			tr.addInterference(mwFromDBm(m.net.rxPowerDBm(a.tx, tr.rx)))
+			mw := m.net.rxPowerMw(a.tx, tr.rx)
+			tr.addInterference(mw)
+			if snap {
+				a.contrib = append(a.contrib, contribution{tr, mw})
+			}
 		}
 	}
 	if tr.rx.transmitting {
 		tr.doomed = true
 	}
 
-	for _, nd := range m.nodes {
-		if nd == tr.tx {
+	// sensed rides a pooled buffer: it lives exactly until finish, which
+	// recycles it (reassociate may append to it mid-flight; that only
+	// grows the pooled slice). Only csTracked nodes — the ones with
+	// traffic, whose busyCount can matter — get carrier-sense
+	// bookkeeping; an idle station's pause would be a no-op anyway, and
+	// its busyCount is re-baselined from the active list the moment it
+	// next has something to send (Node.joinCS). On a realistic dense
+	// floor most associated stations are idle most of the time, so this
+	// is the difference between touching the whole neighborhood per
+	// frame and touching the handful of live contenders.
+	tr.sensed = m.getBuf()
+	for _, nd := range m.csCandidates(tr.tx) {
+		if nd == tr.tx || !nd.csTracked {
 			continue
 		}
 		if m.net.rxPowerDBm(tr.tx, nd) >= m.net.cfg.CSThresholdDBm {
@@ -146,7 +301,8 @@ func (m *medium) start(tr *transmission) {
 		// addressee is exempt (it must answer), and a half-duplex node
 		// mid-transmission cannot decode what it partially overheard.
 		need := m.net.robustMode().SnrReqDB
-		for _, nd := range m.nodes {
+		cands, pooled := m.navCandidates(tr.tx)
+		for _, nd := range cands {
 			if nd == tr.tx || nd == tr.rx || nd.transmitting {
 				continue
 			}
@@ -154,12 +310,18 @@ func (m *medium) start(tr *transmission) {
 				tr.navAdopters = append(tr.navAdopters, nd)
 			}
 		}
+		if pooled {
+			m.putBuf(cands)
+		}
 	}
 }
 
-// finish takes tr off the air, unwinding the interference start added
-// and releasing carrier sense at exactly the nodes recorded in sensed
-// (a roamer re-baselines itself by dropping out of those lists).
+// finish takes tr off the air, unwinding exactly the interference
+// milliwatts start snapshotted into still-airing transmissions (not a
+// recomputed gain — an endpoint that roamed mid-frame would unwind a
+// different figure than was added), and releasing carrier sense at
+// exactly the nodes recorded in sensed (a roamer re-baselines itself by
+// dropping out of those lists).
 func (m *medium) finish(tr *transmission) {
 	for i, a := range m.active {
 		if a == tr {
@@ -167,12 +329,23 @@ func (m *medium) finish(tr *transmission) {
 			break
 		}
 	}
+	tr.done = true
 	if len(m.active) == 0 {
 		m.busyUs += m.net.eng.Now() - m.busyStartUs
 	}
-	for _, a := range m.active {
-		if a.rx != tr.tx {
-			a.subInterference(mwFromDBm(m.net.rxPowerDBm(tr.tx, a.rx)))
+	if m.net.cfg.RoamIntervalUs > 0 {
+		// Gains may have shifted mid-frame: unwind the snapshot.
+		for _, c := range tr.contrib {
+			if !c.to.done {
+				c.to.subInterference(c.mw)
+			}
+		}
+	} else {
+		// Static gains: the matrix still holds exactly what start added.
+		for _, a := range m.active {
+			if a.rx != tr.tx {
+				a.subInterference(m.net.rxPowerMw(tr.tx, a.rx))
+			}
 		}
 	}
 	for _, nd := range tr.sensed {
@@ -181,17 +354,8 @@ func (m *medium) finish(tr *transmission) {
 			nd.tryResume()
 		}
 	}
-}
-
-// remove drops a node from the medium's membership (roam to another
-// channel). Carrier-sense state is re-baselined by the caller.
-func (m *medium) remove(nd *Node) {
-	for i, x := range m.nodes {
-		if x == nd {
-			m.nodes = append(m.nodes[:i], m.nodes[i+1:]...)
-			return
-		}
-	}
+	m.putBuf(tr.sensed[:0])
+	tr.sensed = nil
 }
 
 // succeeds judges the finished frame: half-duplex conflicts and
@@ -215,9 +379,8 @@ func (m *medium) succeeds(tr *transmission) bool {
 // sinrDB is the worst-overlap SINR the frame was received at — the
 // figure every MPDU of an A-MPDU burst is judged against individually.
 func (m *medium) sinrDB(tr *transmission) float64 {
-	sigMw := mwFromDBm(m.net.rxPowerDBm(tr.tx, tr.rx))
-	noiseMw := mwFromDBm(m.net.noiseFloorDBm)
-	return 10 * math.Log10(sigMw/(noiseMw+tr.maxIntfMw))
+	sigMw := m.net.rxPowerMw(tr.tx, tr.rx)
+	return 10 * math.Log10(sigMw/(m.net.noiseFloorMw+tr.maxIntfMw))
 }
 
 // interfered reports whether the frame saw meaningful co-channel

@@ -47,6 +47,8 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/linkmodel"
@@ -125,6 +127,15 @@ type Config struct {
 	// it beats the current one by RoamHysteresisDB.
 	RoamIntervalUs   float64
 	RoamHysteresisDB float64
+
+	// DisableSpatialIndex switches medium.start back to the brute-force
+	// O(nodes) scan for carrier sense and NAV adoption instead of the
+	// spatial grid index (spatial.go). The two paths are bit-for-bit
+	// equivalent — the index returns a superset of candidates in
+	// membership order and the exact power predicate re-filters it — so
+	// this exists purely as the test oracle the equivalence suite and
+	// the E27 scale benchmark compare against.
+	DisableSpatialIndex bool
 }
 
 // AggConfig parameterizes A-MPDU aggregation (Config.Aggregation).
@@ -225,6 +236,23 @@ type Node struct {
 	bss  *BSS
 	med  *medium
 
+	// ord is the node's membership number on its current medium (set by
+	// medium.addNode); cell is the spatial-grid cell it is filed under.
+	// Together they let indexed carrier-sense scans replay the exact
+	// brute-force iteration order.
+	ord  int
+	cell cellKey
+
+	// csTracked marks the node as under live carrier-sense bookkeeping:
+	// it has queued traffic (or is mid-exchange), so in-flight frames
+	// maintain its busyCount. An idle station carries no MAC state that
+	// busyCount could influence — every queue is empty and disarmed — so
+	// it leaves the tracked set (maybeLeaveCS) and is re-baselined
+	// against the live active list when traffic next arrives (joinCS).
+	// Invariant: !csTracked implies no queued packets, no contending
+	// queue, no armed countdown, and not transmitting.
+	csTracked bool
+
 	// vx, vy move the node (metres/second) on each roam scan tick.
 	vx, vy float64
 
@@ -248,7 +276,7 @@ type Node struct {
 	// even when the medium measures idle — the mechanism that protects
 	// an RTS/CTS exchange from stations that cannot hear the data frame.
 	navUntilUs float64
-	navEvent   *sim.Event
+	navEvent   sim.EventRef
 
 	// arf holds one rate-adaptation state machine per destination when
 	// Config.Arf is set (AP side needs one per station; a station gets
@@ -305,12 +333,26 @@ type Network struct {
 
 	// rxDBm[i][j] is the received power at node j when node i
 	// transmits; shadowDB[i][j] is the symmetric per-pair shadowing
-	// draw baked into it.
+	// draw baked into it. rxMw caches the same figure in milliwatts —
+	// the interference crossing in medium.start/finish sums powers
+	// linearly for every concurrent pair, and the dB→mW exponential was
+	// a top hot-loop cost when recomputed per frame for gains that only
+	// change on a move.
 	rxDBm    [][]float64
+	rxMw     [][]float64
 	shadowDB [][]float64
 
 	noiseFloorDBm float64
+	noiseFloorMw  float64
 	built         bool
+	prepared      bool
+	ran           bool
+
+	// csRangeM / navRangeM are the spatial-index query radii derived
+	// from the propagation model at build time (see indexRanges):
+	// energy-detect carrier-sense reach and robust-mode decode reach.
+	csRangeM  float64
+	navRangeM float64
 
 	// modeCache memoizes per-link rate selection; link SNR only changes
 	// when a node moves, which clears it (refreshGains).
@@ -349,6 +391,7 @@ func New(cfg Config, seed int64) *Network {
 	n := &Network{cfg: cfg, src: rng.New(seed), noiseFloorDBm: cfg.Budget.NoiseFloorDBm(),
 		modeCache:    make(map[[2]int]linkmodel.Mode),
 		modeAttempts: make(map[string]int)}
+	n.noiseFloorMw = mwFromDBm(n.noiseFloorDBm)
 	if cfg.Aggregation != nil {
 		n.ampduHist = make(map[int]int)
 	}
@@ -491,9 +534,11 @@ func (n *Network) build() {
 	nn := len(n.nodes)
 	n.shadowDB = make([][]float64, nn)
 	n.rxDBm = make([][]float64, nn)
+	n.rxMw = make([][]float64, nn)
 	for i := range n.nodes {
 		n.shadowDB[i] = make([]float64, nn)
 		n.rxDBm[i] = make([]float64, nn)
+		n.rxMw[i] = make([]float64, nn)
 	}
 	for i := 0; i < nn; i++ {
 		for j := i + 1; j < nn; j++ {
@@ -504,28 +549,73 @@ func (n *Network) build() {
 			n.shadowDB[i][j], n.shadowDB[j][i] = sh, sh
 		}
 	}
-	for i := range n.nodes {
-		n.refreshGains(n.nodes[i])
-	}
+	n.fillGains()
+	// Index query radii depend on the shadowing draws just baked into
+	// the gain matrix, and media created below size their grids from
+	// csRangeM.
+	n.csRangeM, n.navRangeM = n.indexRanges()
 	// One medium per distinct channel, in first-appearance order so the
 	// node lists (and hence all event ordering) are deterministic.
 	for _, b := range n.bss {
 		m := n.mediumFor(b.Channel)
 		b.AP.med = m
-		m.nodes = append(m.nodes, b.AP)
+		m.addNode(b.AP)
 	}
 	for _, nd := range n.nodes {
 		if !nd.ap {
 			m := n.mediumFor(nd.bss.Channel)
 			nd.med = m
-			m.nodes = append(m.nodes, nd)
+			m.addNode(nd)
 		}
 	}
 	n.built = true
 }
 
+// fillGains computes the initial received-power matrix: each unordered
+// pair exactly once (the per-node refreshGains would do every pair
+// twice), with rows striped across cores — the O(n²) transcendental
+// bill (path-loss log, dB→mW exponential) dominates setup on 1000+
+// node floors, and the per-pair math is pure, so the fan-out is
+// bit-for-bit deterministic. The shadowing draws are already fixed at
+// this point, so no randomness crosses a goroutine boundary.
+func (n *Network) fillGains() {
+	nn := len(n.nodes)
+	b := n.cfg.Budget
+	fillRow := func(i int) {
+		nd := n.nodes[i]
+		for j := i + 1; j < nn; j++ {
+			loss := n.cfg.PathLoss.LossDB(dist(nd, n.nodes[j])) + n.shadowDB[i][j]
+			p := b.TxPowerDBm + b.TxAntennaGain + b.RxAntennaGain - loss
+			n.rxDBm[i][j], n.rxDBm[j][i] = p, p
+			mw := mwFromDBm(p)
+			n.rxMw[i][j], n.rxMw[j][i] = mw, mw
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if nn < 256 || workers < 2 {
+		for i := 0; i < nn; i++ {
+			fillRow(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < nn; i += workers {
+				fillRow(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // refreshGains recomputes row and column i of the received-power matrix
-// (called at build and whenever node i moves).
+// whenever node i moves.
 func (n *Network) refreshGains(nd *Node) {
 	clear(n.modeCache)
 	b := n.cfg.Budget
@@ -537,6 +627,9 @@ func (n *Network) refreshGains(nd *Node) {
 		p := b.TxPowerDBm + b.TxAntennaGain + b.RxAntennaGain - loss
 		n.rxDBm[nd.id][j] = p
 		n.rxDBm[j][nd.id] = p
+		mw := mwFromDBm(p)
+		n.rxMw[nd.id][j] = mw
+		n.rxMw[j][nd.id] = mw
 	}
 }
 
@@ -547,12 +640,22 @@ func (n *Network) mediumFor(ch int) *medium {
 		}
 	}
 	m := &medium{net: n, channel: ch}
+	if !n.cfg.DisableSpatialIndex {
+		// Cell size = carrier-sense range: an energy-detect query visits
+		// at most the 3x3 block around the transmitter's cell.
+		m.grid = newSpatialGrid(n.csRangeM)
+	}
 	n.media = append(n.media, m)
 	return m
 }
 
 // rxPowerDBm returns the received power at node rx when tx transmits.
 func (n *Network) rxPowerDBm(tx, rx *Node) float64 { return n.rxDBm[tx.id][rx.id] }
+
+// rxPowerMw is the same figure in milliwatts, cached at gain-refresh
+// time so the per-frame interference crossing never pays the dB→linear
+// exponential.
+func (n *Network) rxPowerMw(tx, rx *Node) float64 { return n.rxMw[tx.id][rx.id] }
 
 // linkSNRdB is the interference-free SNR of the tx→rx link.
 func (n *Network) linkSNRdB(tx, rx *Node) float64 {
@@ -589,21 +692,39 @@ func (n *Network) ampduAirUs(m linkmodel.Mode, totalBytes int) float64 {
 func (n *Network) rtsAirUs() float64 { return n.cfg.Dcf.PlcpUs + n.cfg.RtsUs }
 func (n *Network) ctsAirUs() float64 { return n.cfg.Dcf.PlcpUs + n.cfg.CtsUs }
 
-// Run plays the network for durationUs of virtual time and returns the
-// aggregated result. It may be called only once per Network.
-func (n *Network) Run(durationUs float64) Result {
-	if n.built {
-		panic("netsim: Run called twice")
+// Prepare freezes the topology (gain matrix, media, spatial index) and
+// seeds the traffic processes without advancing virtual time. Run calls
+// it implicitly; calling it explicitly lets setup cost be separated
+// from event-loop cost — the scale benchmarks time the two phases
+// independently, since the O(n²) gain matrix dwarfs short runs on
+// 1000+ node floors. After Prepare, the only permitted call is Run.
+func (n *Network) Prepare() {
+	if n.prepared {
+		panic("netsim: Prepare called twice (or after Run)")
 	}
 	if len(n.flows) == 0 {
 		panic("netsim: no flows")
 	}
+	n.prepared = true
 	n.build()
 	for _, f := range n.flows {
 		f.start()
 	}
 	if n.cfg.RoamIntervalUs > 0 {
 		n.eng.Schedule(n.cfg.RoamIntervalUs, n.roamScan)
+	}
+}
+
+// Run plays the network for durationUs of virtual time and returns the
+// aggregated result. It may be called only once per Network, with at
+// most one Prepare before it.
+func (n *Network) Run(durationUs float64) Result {
+	if n.ran {
+		panic("netsim: Run called twice")
+	}
+	n.ran = true
+	if !n.prepared {
+		n.Prepare()
 	}
 	n.eng.Run(durationUs)
 	return n.collect(durationUs)
@@ -618,6 +739,9 @@ func (n *Network) roamScan() {
 			nd.X += nd.vx * dtS
 			nd.Y += nd.vy * dtS
 			n.refreshGains(nd)
+			if nd.med.grid != nil {
+				nd.med.grid.update(nd)
+			}
 		}
 	}
 	for _, nd := range n.nodes {
@@ -644,6 +768,54 @@ func (n *Network) roamScan() {
 	n.eng.Schedule(n.cfg.RoamIntervalUs, n.roamScan)
 }
 
+// joinCS puts the node under live carrier-sense bookkeeping, deriving
+// its busyCount from the frames currently on the air (the same
+// re-baseline reassociate performs) so it is exactly what eager
+// maintenance would have accumulated. Each in-range frame learns the
+// node at its membership position, keeping the finish-time resume order
+// — and with it the event stream — bit-identical to a node that was
+// sensed from the frame's start.
+func (nd *Node) joinCS() {
+	if nd.csTracked {
+		return
+	}
+	nd.csTracked = true
+	if nd.med.grid != nil {
+		nd.med.grid.setTracked(nd, true)
+	}
+	net := nd.net
+	for _, a := range nd.med.active {
+		if a.tx != nd && net.rxPowerDBm(a.tx, nd) >= net.cfg.CSThresholdDBm {
+			a.insertSensed(nd)
+			nd.busyCount++
+		}
+	}
+}
+
+// maybeLeaveCS retires the node from carrier-sense bookkeeping once it
+// has nothing in flight and nothing queued: it drops out of the release
+// lists of frames still on the air and zeroes busyCount, which joinCS
+// will recompute on the next arrival.
+func (nd *Node) maybeLeaveCS() {
+	if !nd.csTracked || nd.transmitting {
+		return
+	}
+	for ac := range nd.acq {
+		q := &nd.acq[ac]
+		if len(q.queue) > 0 || q.contending {
+			return
+		}
+	}
+	nd.csTracked = false
+	if nd.med.grid != nil {
+		nd.med.grid.setTracked(nd, false)
+	}
+	for _, a := range nd.med.active {
+		a.dropSensed(nd)
+	}
+	nd.busyCount = 0
+}
+
 // reassociate moves the station to the new BSS, switching media when
 // the channel differs, recomputing its carrier-sense state, and handing
 // queued downlink packets from the old AP to the new one.
@@ -662,14 +834,18 @@ func (nd *Node) reassociate(b *BSS) {
 	}
 	if old != next {
 		old.remove(nd)
-		next.nodes = append(next.nodes, nd)
+		next.addNode(nd)
 		nd.med = next
 	}
 	nd.busyCount = 0
-	for _, tr := range nd.med.active {
-		if tr.tx != nd && nd.net.rxPowerDBm(tr.tx, nd) >= nd.net.cfg.CSThresholdDBm {
-			tr.sensed = append(tr.sensed, nd)
-			nd.busyCount++
+	if nd.csTracked {
+		// Untracked roamers skip the re-baseline: their busyCount is
+		// derived fresh by joinCS when traffic next arrives.
+		for _, tr := range nd.med.active {
+			if tr.tx != nd && nd.net.rxPowerDBm(tr.tx, nd) >= nd.net.cfg.CSThresholdDBm {
+				tr.sensed = append(tr.sensed, nd)
+				nd.busyCount++
+			}
 		}
 	}
 	nd.tryResume()
@@ -714,10 +890,8 @@ func (n *Network) handoffDownlink(st, oldAp, newAp *Node) {
 		if q.contending && len(q.queue) == 0 {
 			// Nothing left to send: stand down rather than letting the
 			// countdown fire on an empty queue.
-			if q.boEvent != nil {
-				q.boEvent.Cancel()
-				q.boEvent = nil
-			}
+			q.boEvent.Cancel()
+			q.boEvent = sim.EventRef{}
 			q.contending = false
 		}
 		for _, p := range moved {
@@ -729,6 +903,8 @@ func (n *Network) handoffDownlink(st, oldAp, newAp *Node) {
 			f.src = newAp
 		}
 	}
+	// The old AP may just have handed away its whole backlog.
+	oldAp.maybeLeaveCS()
 }
 
 // ACStats is one access category's slice of a Result: MAC-level frame

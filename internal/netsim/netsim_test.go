@@ -205,7 +205,7 @@ func TestNavDefersContentionOnIdleMedium(t *testing.T) {
 	if n.attempts[AC_BE] != 0 {
 		t.Fatalf("station transmitted %d times during its NAV on an idle medium", n.attempts[AC_BE])
 	}
-	if q := &st.acq[AC_BE]; !q.contending || q.boEvent != nil {
+	if q := &st.acq[AC_BE]; !q.contending || q.boEvent.Scheduled() {
 		t.Fatalf("station should be contending with the countdown parked: %+v", q)
 	}
 	n.eng.Run(20000)

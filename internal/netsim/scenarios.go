@@ -56,6 +56,60 @@ func DenseGrid(cfg Config, nBSS, staPerBSS int, channels []int, spacingM float64
 	}
 }
 
+// largeFloorSpacingM is the AP pitch of the LargeFloor preset: 25 m
+// cells, the upper end of real enterprise high-density designs.
+const largeFloorSpacingM = 25
+
+// LargeFloor is the 100+ BSS enterprise-floor workload behind the E27
+// density sweep and the spatial-index scale benchmark: nBSS APs laid
+// out gridCols per row at a fixed 25 m pitch, channels drawn from the
+// given list (1/6/11 for the classic reuse pattern) in a staggered
+// assignment — channels[(col + 2·row) mod len] — so no two
+// grid-adjacent APs share a channel in either direction, the way real
+// channel plans stagger reuse (plain round-robin would stack
+// same-channel APs into adjacent columns whenever gridCols divides by
+// the channel count), and staPerBSS stations ringed around each AP in
+// the high-density association profile of a real enterprise floor: the
+// first station of every BSS is a saturated uplink (the cell's active
+// user), the rest are associated but lightly loaded (a 200-byte
+// keepalive every second) — present for carrier sense, interference,
+// and membership scans, yet rarely contending. Unlike DenseGrid it is
+// sized to stress the hot loop — hundreds to thousands of co-channel
+// nodes — so whether medium.start scans all of them or only a
+// spatial-grid neighborhood decides the wall clock. With the default
+// -82 dBm carrier sense the whole floor is one collision domain; pair
+// it with an OBSS-PD-style raised CS threshold (e.g. -62 dBm, as E27
+// does) to let distant cells transmit in parallel the way dense
+// deployments are actually engineered.
+func LargeFloor(cfg Config, nBSS, staPerBSS, gridCols int, channels ...int) func(seed int64) *Network {
+	checkCount("LargeFloor", "nBSS", nBSS, 1)
+	checkCount("LargeFloor", "staPerBSS", staPerBSS, 1)
+	checkCount("LargeFloor", "gridCols", gridCols, 1)
+	checkCount("LargeFloor", "len(channels)", len(channels), 1)
+	const payloadBytes = 1000
+	return func(seed int64) *Network {
+		n := New(cfg, seed)
+		for i := 0; i < nBSS; i++ {
+			col, row := i%gridCols, i/gridCols
+			x := float64(col) * largeFloorSpacingM
+			y := float64(row) * largeFloorSpacingM
+			b := n.AddAP(fmt.Sprintf("AP%d", i), x, y, channels[(col+2*row)%len(channels)])
+			for s := 0; s < staPerBSS; s++ {
+				ang := 2 * math.Pi * float64(s) / float64(staPerBSS)
+				r := 3 + 5*n.Src().Float64()
+				st := n.AddStation(b, fmt.Sprintf("sta%d.%d", i, s),
+					x+r*math.Cos(ang), y+r*math.Sin(ang))
+				if s == 0 {
+					n.Add(FlowSpec{From: st, AC: AC_BE, Gen: Saturated{PayloadBytes: payloadBytes}})
+				} else {
+					n.Add(FlowSpec{From: st, AC: AC_BE, Gen: CBR{PayloadBytes: 200, IntervalUs: 1e6}})
+				}
+			}
+		}
+		return n
+	}
+}
+
 // SingleLink is one saturated uplink station at distM from its AP —
 // the cleanest stage for the MAC-efficiency story E26 tells: at a
 // fixed PHY rate, how much of the line rate survives per-frame

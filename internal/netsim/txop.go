@@ -222,7 +222,7 @@ func (nd *Node) applyBlockAck(tr *transmission, ok []bool) {
 			nd.arfFor(tr.rx).OnFailure()
 		}
 	}
-	interfered := tr.interfered(mwFromDBm(net.noiseFloorDBm))
+	interfered := tr.interfered(net.noiseFloorMw)
 	var requeue []*packet
 	for i, p := range ex.mpdus {
 		if ok[i] {

@@ -1,16 +1,24 @@
 // Package sim is a minimal discrete-event simulation core: a virtual
 // clock and a priority queue of scheduled callbacks. The MAC power-save
-// and traffic models run on it.
+// and traffic models run on it, and netsim's hot loop schedules and
+// cancels events at frame rate, so the engine recycles event records
+// through a free list instead of allocating one per Schedule.
 package sim
 
 import "container/heap"
 
-// Event is a scheduled callback; it can be cancelled before it fires.
-type Event struct {
-	time      float64
-	seq       int64
-	fn        func()
-	cancelled bool
+// event is one pooled scheduled-callback record. Records are owned by
+// the engine: popped or cancelled events return to the free list and
+// are reused by later Schedule/At calls, so the steady-state event loop
+// allocates nothing. gen counts recycles; an EventRef captured at
+// schedule time goes stale the moment the record is released, which is
+// what makes a late Cancel on a fired (and possibly reused) event a
+// no-op.
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+	gen  uint64
 	// index is the event's position in the owning engine's heap, or -1
 	// once it has fired or been removed. Cancel uses it to take the
 	// event out of the queue eagerly rather than leaving a dead entry
@@ -21,19 +29,40 @@ type Event struct {
 	eng   *Engine
 }
 
-// Time returns the event's scheduled time.
-func (e *Event) Time() float64 { return e.time }
+// EventRef is a handle to a scheduled callback: the record pointer plus
+// the generation it was scheduled under. The zero value refers to
+// nothing. Cancel and Scheduled compare generations, so a ref kept past
+// the event's firing — or past an earlier Cancel — is inert even after
+// the engine has recycled the record for an unrelated event.
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
-// Cancel prevents the event from firing and removes it from the queue.
-// Safe to call more than once, and after the event has fired.
-func (e *Event) Cancel() {
-	if e.cancelled {
+// Scheduled reports whether the referenced event is still queued to
+// fire. False for the zero ref, after the event fires, and after any
+// Cancel.
+func (r EventRef) Scheduled() bool { return r.ev != nil && r.ev.gen == r.gen }
+
+// Time returns the event's scheduled time, or 0 when the ref is stale.
+func (r EventRef) Time() float64 {
+	if !r.Scheduled() {
+		return 0
+	}
+	return r.ev.time
+}
+
+// Cancel prevents the event from firing and removes it from the queue,
+// returning the record to the free list. Safe to call more than once,
+// on the zero ref, and after the event has fired — a stale ref's
+// generation no longer matches, so the record's current occupant (if
+// any) is untouched.
+func (r EventRef) Cancel() {
+	if !r.Scheduled() {
 		return
 	}
-	e.cancelled = true
-	if e.index >= 0 {
-		heap.Remove(&e.eng.queue, e.index)
-	}
+	heap.Remove(&r.ev.eng.queue, r.ev.index)
+	r.ev.eng.release(r.ev)
 }
 
 // Engine is the simulation clock and event queue. The zero value is
@@ -42,6 +71,7 @@ type Engine struct {
 	now   float64
 	queue eventHeap
 	seq   int64
+	free  []*event
 }
 
 // Now returns the current virtual time.
@@ -49,7 +79,7 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Schedule runs fn after delay (which must not be negative) and returns
 // a handle for cancellation.
-func (e *Engine) Schedule(delay float64, fn func()) *Event {
+func (e *Engine) Schedule(delay float64, fn func()) EventRef {
 	if delay < 0 {
 		panic("sim: negative delay")
 	}
@@ -57,14 +87,35 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 }
 
 // At runs fn at absolute time t >= Now.
-func (e *Engine) At(t float64, fn func()) *Event {
+func (e *Engine) At(t float64, fn func()) EventRef {
 	if t < e.now {
 		panic("sim: scheduling in the past")
 	}
 	e.seq++
-	ev := &Event{time: t, seq: e.seq, fn: fn, eng: e}
+	ev := e.alloc()
+	ev.time, ev.seq, ev.fn = t, e.seq, fn
 	heap.Push(&e.queue, ev)
-	return ev
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// alloc takes a record off the free list, falling back to the allocator
+// only while the pool is still growing to the workload's live set.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{eng: e}
+}
+
+// release retires a popped or cancelled record to the free list. The
+// generation bump is what invalidates every outstanding EventRef to it;
+// the callback is dropped so the pool does not pin closures alive.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Step fires the next event. It reports false when the queue is empty.
@@ -72,9 +123,13 @@ func (e *Engine) Step() bool {
 	if e.queue.Len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.time
-	ev.fn()
+	fn := ev.fn
+	// Release before running: refs to this event go stale now, and the
+	// callback's own scheduling may immediately reuse the record.
+	e.release(ev)
+	fn()
 	return true
 }
 
@@ -95,7 +150,7 @@ func (e *Engine) Pending() int { return e.queue.Len() }
 
 // eventHeap orders by time, breaking ties by scheduling order so the
 // simulation is deterministic.
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -110,7 +165,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+	ev := x.(*event)
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }

@@ -38,7 +38,13 @@ func TestCancel(t *testing.T) {
 	var e Engine
 	fired := false
 	ev := e.Schedule(1, func() { fired = true })
+	if !ev.Scheduled() {
+		t.Error("fresh event not Scheduled")
+	}
 	ev.Cancel()
+	if ev.Scheduled() {
+		t.Error("cancelled event still Scheduled")
+	}
 	e.Run(5)
 	if fired {
 		t.Error("cancelled event fired")
@@ -139,7 +145,7 @@ func TestCancelAfterFireIsHarmless(t *testing.T) {
 func TestCancelSameTimestampFromEarlierEvent(t *testing.T) {
 	var e Engine
 	fired := false
-	var victim *Event
+	var victim EventRef
 	e.Schedule(5, func() { victim.Cancel() })
 	victim = e.Schedule(5, func() { fired = true })
 	e.Run(10)
@@ -156,7 +162,7 @@ func TestCancelRemovesEagerly(t *testing.T) {
 	// a dead entry to be skipped later: Pending reflects the drop at
 	// once, and double-Cancel stays a no-op.
 	var e Engine
-	evs := make([]*Event, 100)
+	evs := make([]EventRef, 100)
 	for i := range evs {
 		evs[i] = e.Schedule(float64(i+1), func() {})
 	}
@@ -181,37 +187,13 @@ func TestCancelInterleavedWithReschedule(t *testing.T) {
 	// The netsim carrier-sense pattern: schedule, cancel, reschedule in
 	// a tight loop. The queue must not accumulate dead events.
 	var e Engine
-	var ev *Event
+	var ev EventRef
 	for i := 0; i < 1000; i++ {
-		if ev != nil {
-			ev.Cancel()
-		}
+		ev.Cancel()
 		ev = e.Schedule(1, func() {})
 		if e.Pending() != 1 {
 			t.Fatalf("pending = %d at iteration %d, want 1", e.Pending(), i)
 		}
-	}
-}
-
-// BenchmarkCancelChurn models netsim's backoff freeze/resume: every
-// iteration cancels a live event and schedules a replacement. With lazy
-// cancellation the heap would grow with dead entries; eager removal
-// keeps it flat.
-func BenchmarkCancelChurn(b *testing.B) {
-	var e Engine
-	const live = 64 // concurrently armed backoff events
-	evs := make([]*Event, live)
-	for i := range evs {
-		evs[i] = e.Schedule(float64(i+1), func() {})
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		slot := i % live
-		evs[slot].Cancel()
-		evs[slot] = e.Schedule(float64(live), func() {})
-	}
-	if e.Pending() > live {
-		b.Fatalf("heap grew to %d entries despite cancels", e.Pending())
 	}
 }
 
@@ -225,5 +207,116 @@ func TestCancelBeforeAnyPop(t *testing.T) {
 	e.Run(10)
 	if fired || keep != 1 {
 		t.Errorf("fired=%v keep=%d after pre-pop cancel", fired, keep)
+	}
+}
+
+func TestStaleCancelAfterPopSparesReusedRecord(t *testing.T) {
+	// Generation-counter semantics: a ref held past its event's firing
+	// must not cancel the pooled record's next occupant. With one
+	// record in play, B is guaranteed to reuse A's slot.
+	var e Engine
+	stale := e.Schedule(1, func() {})
+	e.Run(2) // A fires; its record returns to the free list
+	bFired := false
+	b := e.Schedule(1, func() { bFired = true })
+	if !b.Scheduled() {
+		t.Fatal("B not scheduled")
+	}
+	stale.Cancel() // refers to A's generation; must be a no-op
+	if !b.Scheduled() {
+		t.Error("stale Cancel of a fired event killed the record's new occupant")
+	}
+	e.Run(10)
+	if !bFired {
+		t.Error("reused event did not fire")
+	}
+}
+
+func TestStaleCancelAfterRescheduleReuse(t *testing.T) {
+	// Cancel, then reschedule (reusing the record): the ref from before
+	// the cancel must stay inert through the record's next life.
+	var e Engine
+	stale := e.Schedule(5, func() {})
+	stale.Cancel()
+	fired := 0
+	fresh := e.Schedule(1, func() { fired++ })
+	stale.Cancel() // second stale cancel, now aimed at fresh's record
+	if !fresh.Scheduled() {
+		t.Fatal("stale Cancel reached the rescheduled event")
+	}
+	e.Run(10)
+	if fired != 1 {
+		t.Errorf("rescheduled event fired %d times, want 1", fired)
+	}
+	if stale.Scheduled() {
+		t.Error("stale ref reports Scheduled")
+	}
+}
+
+func TestPoolReusesRecords(t *testing.T) {
+	// Steady-state schedule/fire churn must run entirely off the free
+	// list: after warmup, no allocations per op.
+	var e Engine
+	fn := func() {}
+	e.Schedule(1, fn)
+	e.Run(2) // warm the pool and the heap's backing array
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule/fire churn allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestStaleTimeIsZero(t *testing.T) {
+	var e Engine
+	ev := e.Schedule(7, func() {})
+	if ev.Time() != e.Now()+7 {
+		t.Errorf("Time = %v, want 7", ev.Time())
+	}
+	ev.Cancel()
+	if ev.Time() != 0 {
+		t.Errorf("stale Time = %v, want 0", ev.Time())
+	}
+}
+
+// BenchmarkCancelChurn models netsim's backoff freeze/resume: every
+// iteration cancels a live event and schedules a replacement. With lazy
+// cancellation the heap would grow with dead entries; eager removal
+// keeps it flat.
+func BenchmarkCancelChurn(b *testing.B) {
+	var e Engine
+	const live = 64 // concurrently armed backoff events
+	evs := make([]EventRef, live)
+	for i := range evs {
+		evs[i] = e.Schedule(float64(i+1), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % live
+		evs[slot].Cancel()
+		evs[slot] = e.Schedule(float64(live), func() {})
+	}
+	if e.Pending() > live {
+		b.Fatalf("heap grew to %d entries despite cancels", e.Pending())
+	}
+}
+
+// BenchmarkScheduleChurn is the pooled-allocation contract: the
+// schedule→fire cycle that dominates netsim's event loop must not
+// allocate once the free list is warm (~0 allocs/op under
+// ReportAllocs).
+func BenchmarkScheduleChurn(b *testing.B) {
+	var e Engine
+	fn := func() {}
+	e.Schedule(1, fn)
+	e.Run(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, fn)
+		e.Step()
 	}
 }
