@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
+	"repro/internal/netsim/trace"
 )
 
 // benchCfg trims Monte-Carlo fidelity so a benchmark iteration stays in
@@ -83,29 +84,45 @@ func BenchmarkE26Ampdu(b *testing.B)      { benchExperiment(b, "E26") }
 // (the O(n²) gain matrix, via Prepare) is excluded from the timing so
 // ns/op measures the event-loop hot path the index rebuilt; the
 // indexed/brute ratio is the speedup — ≥3x at this size.
+//
+// The traced variant rides the indexed path with a ring-buffer Tracer
+// attached, so indexed-vs-traced is the probe layer's cost when ON and
+// indexed against the committed baseline is its cost when OFF (the
+// ≤2% acceptance bar — with no probe attached the hot sites reduce to
+// one nil-check and never construct an Event).
 func BenchmarkE27LargeFloor(b *testing.B) {
 	for _, mode := range []struct {
 		name    string
 		disable bool
+		traced  bool
 	}{
-		{"indexed", false},
-		{"brute", true},
+		{"indexed", false, false},
+		{"brute", true, false},
+		{"traced", false, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			cfg := netsim.DefaultConfig()
 			cfg.CSThresholdDBm = -62 // OBSS-PD-style spatial reuse, as in E27
 			cfg.DisableSpatialIndex = mode.disable
 			build := netsim.LargeFloor(cfg, 100, 40, 10, 1)
+			tracer := trace.New()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				n := build(int64(i + 1))
+				if mode.traced {
+					tracer.Reset()
+					n.AttachProbe(tracer)
+				}
 				n.Prepare()
 				b.StartTimer()
 				r := n.Run(2e6)
 				if r.Delivered == 0 {
 					b.Fatal("floor delivered nothing")
+				}
+				if mode.traced && tracer.Total() == 0 {
+					b.Fatal("tracer saw no events")
 				}
 			}
 		})

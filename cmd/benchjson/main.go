@@ -18,6 +18,15 @@
 // printed as GitHub "::warning::" annotations. Warnings do not fail the
 // build — a 1-iteration smoke pass is noisy by design — they put the
 // number in front of the reviewer.
+//
+// Two opt-in gates turn regressions into failures (exit 1 with
+// "::error::" annotations). -fail-allocs-pct gates allocs/op across
+// every matched benchmark: the allocation count of a deterministic
+// simulation is machine-independent, so this gate holds across runner
+// hardware. -fail-pct gates ns/op but only for benchmarks whose name
+// contains -fail-match — reserve it for the one hot-path benchmark a PR
+// makes a promise about (e.g. the probe layer's ≤2% when-off bar on
+// BenchmarkE27LargeFloor/indexed), where a timing excursion is signal.
 package main
 
 import (
@@ -112,12 +121,50 @@ func compare(current, baseline []Bench, warnPct float64) (warnings []string, mat
 	return warnings, matched
 }
 
+// gate applies the hard limits, returning one "::error::" line per
+// violation. nsPct gates ns/op on benchmarks whose base name contains
+// match (empty matches none); allocsPct gates allocs/op on every
+// benchmark the baseline also measured allocations for. Zero pct
+// disables the respective gate.
+func gate(current, baseline []Bench, match string, nsPct, allocsPct float64) []string {
+	base := make(map[string]Bench, len(baseline))
+	for _, b := range baseline {
+		base[baseName(b.Name)] = b
+	}
+	var errs []string
+	for _, c := range current {
+		name := baseName(c.Name)
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		if nsPct > 0 && match != "" && strings.Contains(name, match) && b.NsPerOp > 0 {
+			if pct := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp; pct > nsPct {
+				errs = append(errs,
+					fmt.Sprintf("::error::%s ns/op regressed %.1f%% (limit %.1f%%): %.0f vs baseline %.0f",
+						name, pct, nsPct, c.NsPerOp, b.NsPerOp))
+			}
+		}
+		if allocsPct > 0 && b.AllocsPerOp > 0 {
+			if pct := 100 * float64(c.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp); pct > allocsPct {
+				errs = append(errs,
+					fmt.Sprintf("::error::%s allocs/op regressed %.1f%% (limit %.1f%%): %d vs baseline %d",
+						name, pct, allocsPct, c.AllocsPerOp, b.AllocsPerOp))
+			}
+		}
+	}
+	return errs
+}
+
 func main() {
 	in := flag.String("in", "-", "benchmark text output to parse (- for stdin)")
 	out := flag.String("out", "-", "JSON artifact path (- for stdout)")
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash to stamp into the artifact")
 	baseline := flag.String("baseline", "", "baseline artifact to compare against (warn on ns/op regressions)")
 	warnPct := flag.Float64("warn-pct", 30, "regression percentage beyond which -baseline warns")
+	failMatch := flag.String("fail-match", "", "substring of benchmark names the -fail-pct ns/op gate applies to")
+	failPct := flag.Float64("fail-pct", 0, "ns/op regression percentage beyond which -fail-match benchmarks fail the run (0 disables)")
+	failAllocsPct := flag.Float64("fail-allocs-pct", 0, "allocs/op regression percentage beyond which any benchmark fails the run (0 disables)")
 	flag.Parse()
 
 	r := os.Stdin
@@ -146,6 +193,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
 		os.Exit(1)
 	}
+	var gateErrs []string
 	if *baseline != "" {
 		bdata, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -170,6 +218,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% against %s (%d benchmarks compared)\n",
 				*warnPct, *baseline, matched)
 		}
+		gateErrs = gate(art.Benchmarks, base.Benchmarks, *failMatch, *failPct, *failAllocsPct)
+		for _, e := range gateErrs {
+			fmt.Fprintln(os.Stderr, e)
+		}
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -179,10 +231,13 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The artifact is written before the gate verdict lands, so a failed
+	// run still uploads its numbers for the post-mortem.
+	if len(gateErrs) > 0 {
 		os.Exit(1)
 	}
 }

@@ -76,3 +76,38 @@ func TestBaselineCompare(t *testing.T) {
 		t.Errorf("disjoint sets matched %d", m)
 	}
 }
+
+func TestGate(t *testing.T) {
+	base := []Bench{
+		{Name: "BenchmarkE27LargeFloor/indexed-8", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkOther-8", NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	hot := "BenchmarkE27LargeFloor/indexed"
+
+	// Inside both limits: silent.
+	cur := []Bench{{Name: "BenchmarkE27LargeFloor/indexed-16", NsPerOp: 1015, AllocsPerOp: 101}}
+	if errs := gate(cur, base, hot, 2, 2); len(errs) != 0 {
+		t.Fatalf("within-limit run failed the gate: %v", errs)
+	}
+	// ns/op past the limit on the matched benchmark: one error.
+	cur = []Bench{{Name: "BenchmarkE27LargeFloor/indexed-16", NsPerOp: 1100, AllocsPerOp: 100}}
+	errs := gate(cur, base, hot, 2, 2)
+	if len(errs) != 1 || !strings.Contains(errs[0], "ns/op") {
+		t.Fatalf("10%% ns/op regression produced %v, want one ns/op error", errs)
+	}
+	// The same ns/op excursion on an unmatched benchmark stays advisory…
+	cur = []Bench{{Name: "BenchmarkOther-16", NsPerOp: 1100, AllocsPerOp: 100}}
+	if errs := gate(cur, base, hot, 2, 2); len(errs) != 0 {
+		t.Fatalf("unmatched benchmark tripped the ns/op gate: %v", errs)
+	}
+	// …but its allocs/op gate applies everywhere.
+	cur = []Bench{{Name: "BenchmarkOther-16", NsPerOp: 900, AllocsPerOp: 110}}
+	errs = gate(cur, base, hot, 2, 2)
+	if len(errs) != 1 || !strings.Contains(errs[0], "allocs/op") {
+		t.Fatalf("10%% allocs/op regression produced %v, want one allocs/op error", errs)
+	}
+	// Zero percentages disable each gate.
+	if errs := gate(cur, base, hot, 0, 0); len(errs) != 0 {
+		t.Fatalf("disabled gates still failed: %v", errs)
+	}
+}

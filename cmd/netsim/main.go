@@ -18,6 +18,15 @@
 //	netsim -floor                      # 100-BSS high-density association floor (E27)
 //	netsim -floor -bss 144 -sta 40 -channels 1,6,11
 //	netsim -floor -no-spatial          # brute-force carrier-sense oracle
+//
+// Observability (first seed only; see README "Observability"):
+//
+//	netsim -scenario single -ampdu 8 -duration 0.01 -trace run.jsonl
+//	netsim -scenario single -trace run.bin -trace-events tx_start,tx_end
+//	netsim -scenario single -duration 0.002 -timeline
+//	netsim -scenario dense -sample-us 10000   # time-series telemetry
+//	netsim -floor -seeds 4 -progress          # per-seed wall/sim rate
+//	netsim -floor -pprof cpu.out              # CPU profile of the sweep
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,11 +42,21 @@ import (
 
 	"repro/internal/mac"
 	"repro/internal/netsim"
+	"repro/internal/netsim/trace"
 	"repro/internal/report"
 )
 
+// fail prints a usage-style complaint and exits 2 — flag mistakes are
+// caught here, eagerly, instead of surfacing as panics from deep inside
+// a scenario builder.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "netsim: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run 'netsim -h' for usage")
+	os.Exit(2)
+}
+
 func main() {
-	scenario := flag.String("scenario", "dense", "dense | mix | hidden | roam | floor")
+	scenario := flag.String("scenario", "dense", "dense | mix | hidden | roam | floor | single")
 	floor := flag.Bool("floor", false, "shorthand for the large-floor preset: -scenario floor with 100 BSSs, 10 stations each, 1/6/11 reuse, and -62 dBm OBSS-PD carrier sense unless overridden")
 	nBSS := flag.Int("bss", 3, "number of BSSs (dense, floor)")
 	sta := flag.Int("sta", 17, "stations per BSS (dense, floor; floor saturates the first station per BSS and idles the rest)")
@@ -58,20 +78,70 @@ func main() {
 	noSpatial := flag.Bool("no-spatial", false, "disable the spatial carrier-sense index and use the brute-force all-nodes scan (the equivalence-test oracle)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	compare := flag.Bool("compare", false, "time the seed sweep serially and with the worker pool")
+	traceFile := flag.String("trace", "", "record the first seed's event trace to FILE (JSONL, or the compact binary form when FILE ends in .bin)")
+	traceEvents := flag.String("trace-events", "", "comma-separated event kinds to trace (tx_start, rx_outcome, ...); empty = all")
+	sampleUs := flag.Float64("sample-us", 0, "time-series telemetry tick in microseconds (0 = off); prints a sampled-window table for the first seed")
+	pprofFile := flag.String("pprof", "", "write a CPU profile of the seed sweep to FILE")
+	timeline := flag.Bool("timeline", false, "print an ASCII airtime timeline of the first seed (short runs; implies tracing tx events)")
+	progress := flag.Bool("progress", false, "report each finished seed with its wall-clock/sim-time rate on stderr")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fail("unexpected argument %q", flag.Arg(0))
+	}
+
+	// Every flag that a scenario builder would otherwise reject deep in
+	// a panic is checked here first, with the flag's name in the message.
 	if *seeds < 1 {
-		fmt.Fprintln(os.Stderr, "-seeds must be at least 1")
-		os.Exit(1)
+		fail("-seeds must be at least 1, got %d", *seeds)
+	}
+	if *nBSS < 1 {
+		fail("-bss must be at least 1, got %d", *nBSS)
+	}
+	if *sta < 1 {
+		fail("-sta must be at least 1, got %d", *sta)
+	}
+	if *cols < 0 {
+		fail("-cols must not be negative, got %d (0 = square-ish grid)", *cols)
+	}
+	if *payload < 1 {
+		fail("-payload must be at least 1 byte, got %d", *payload)
+	}
+	if !(*durationS > 0) || math.IsInf(*durationS, 0) {
+		fail("-duration must be a positive number of seconds, got %v", *durationS)
+	}
+	if *workers < 1 {
+		fail("-workers must be at least 1, got %d", *workers)
+	}
+	if *rts < 0 {
+		fail("-rts must not be negative, got %d (0 disables RTS/CTS)", *rts)
+	}
+	if *ampdu < 0 {
+		fail("-ampdu must not be negative, got %d (0 disables aggregation)", *ampdu)
+	}
+	if *dataMbps <= 0 && *scenario == "mix" {
+		fail("-data-mbps must be positive for the mix scenario, got %v", *dataMbps)
+	}
+	if *sampleUs < 0 || math.IsNaN(*sampleUs) || math.IsInf(*sampleUs, 0) {
+		fail("-sample-us must be a non-negative finite number, got %v", *sampleUs)
 	}
 	var channels []int
 	for _, c := range strings.Split(*channelList, ",") {
 		ch, err := strconv.Atoi(strings.TrimSpace(c))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad channel %q: %v\n", c, err)
-			os.Exit(1)
+		if err != nil || ch < 1 {
+			fail("-channels needs a comma-separated list of positive channel numbers, got %q", c)
 		}
 		channels = append(channels, ch)
+	}
+	var traceKinds []netsim.EventKind
+	if *traceEvents != "" {
+		for _, name := range strings.Split(*traceEvents, ",") {
+			k, ok := netsim.EventKindByName(strings.TrimSpace(name))
+			if !ok {
+				fail("-trace-events: unknown event kind %q", name)
+			}
+			traceKinds = append(traceKinds, k)
+		}
 	}
 
 	// The floor preset fills in scale defaults only for flags the user
@@ -91,10 +161,14 @@ func main() {
 			channels = []int{1, 6, 11}
 		}
 	}
+	if *noSpatial && *scenario != "floor" && *scenario != "dense" {
+		fail("-no-spatial only affects the dense/floor scenarios (scenario %q has too few nodes for the index to engage)", *scenario)
+	}
 
 	cfg := netsim.DefaultConfig()
 	cfg.RtsThresholdBytes = *rts
 	cfg.DisableSpatialIndex = *noSpatial
+	cfg.SampleIntervalUs = *sampleUs
 	if *scenario == "floor" && !set["cs"] {
 		*csDBm = -62 // OBSS-PD-style spatial reuse, as in E27
 	}
@@ -114,16 +188,12 @@ func main() {
 	} else if *txop {
 		// The 802.11e defaults give AC_BE/AC_BK a zero limit, and legacy
 		// DCF coerces every flow into AC_BE — the flag would be a no-op.
-		fmt.Fprintln(os.Stderr, "-txop needs -edca (legacy DCF runs everything in AC_BE, whose default TXOP limit is 0)")
-		os.Exit(1)
+		fail("-txop needs -edca (legacy DCF runs everything in AC_BE, whose default TXOP limit is 0)")
 	}
 	if *ampdu > 0 {
 		a := netsim.DefaultAggregation()
 		a.MaxAmpduFrames = *ampdu
 		cfg.Aggregation = &a
-	} else if *ampdu < 0 {
-		fmt.Fprintln(os.Stderr, "-ampdu must not be negative")
-		os.Exit(1)
 	}
 	var build func(seed int64) *netsim.Network
 	switch *scenario {
@@ -150,20 +220,60 @@ func main() {
 		} else {
 			build = netsim.RoamingWalk(cfg, 120, 15)
 		}
+	case "single":
+		build = netsim.SingleLink(cfg, 20, *payload)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
-		os.Exit(1)
+		fail("unknown scenario %q", *scenario)
+	}
+
+	// Tracing and the timeline view record the first seed only: one
+	// Tracer must not be shared across jobs running on different
+	// goroutines, and one seed's trace is what the views need.
+	var tracer *trace.Tracer
+	if *traceFile != "" || *timeline {
+		var opts []trace.Option
+		if len(traceKinds) > 0 {
+			opts = append(opts, trace.WithKinds(traceKinds...))
+		}
+		tracer = trace.New(opts...)
+		inner := build
+		firstSeed := *seed
+		build = func(s int64) *netsim.Network {
+			n := inner(s)
+			if s == firstSeed {
+				n.AttachProbe(tracer)
+			}
+			return n
+		}
 	}
 
 	durationUs := *durationS * 1e6
 	jobs := netsim.SeedSweep(*scenario, build, durationUs, *seed-1, *seeds)
+	runner := netsim.ScenarioRunner{Workers: *workers}
+	if *progress {
+		runner.OnProgress = func(p netsim.Progress) {
+			fmt.Fprintf(os.Stderr, "seed %d done (%d/%d): %.2fs sim in %.2fs wall, %.1fx realtime\n",
+				p.Seed, p.Done, p.Total, p.SimUs/1e6, p.WallSeconds, p.Rate())
+		}
+	}
+
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			fail("-pprof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("-pprof: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *compare {
 		t0 := time.Now()
 		serial := netsim.ScenarioRunner{Workers: 1}.RunAll(jobs)
 		serialWall := time.Since(t0)
 		t1 := time.Now()
-		parallel := netsim.ScenarioRunner{Workers: *workers}.RunAll(jobs)
+		parallel := runner.RunAll(jobs)
 		parWall := time.Since(t1)
 		match := "results identical"
 		for i := range serial {
@@ -179,8 +289,20 @@ func main() {
 	}
 
 	t0 := time.Now()
-	results := netsim.ScenarioRunner{Workers: *workers}.RunAll(jobs)
+	results := runner.RunAll(jobs)
 	wall := time.Since(t0)
+
+	if tracer != nil && *traceFile != "" {
+		if err := writeTrace(*traceFile, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events to %s (%d dropped by the ring)\n",
+			len(tracer.Events()), *traceFile, tracer.Dropped())
+	}
+	if *timeline {
+		fmt.Print(trace.Timeline(tracer.Events(), durationUs, 100))
+	}
 
 	agg := report.Table{
 		ID:     "netsim",
@@ -234,6 +356,9 @@ func main() {
 		}
 		tables = append(tables, hist)
 	}
+	if s := results[0].Samples; s != nil {
+		tables = append(tables, sampleTable(s, jobs[0].Seed))
+	}
 	for _, tb := range tables {
 		if *csv {
 			fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
@@ -241,4 +366,52 @@ func main() {
 			fmt.Println(tb.Format())
 		}
 	}
+	if *progress {
+		es := results[0].EngineStats
+		fmt.Fprintf(os.Stderr, "engine, seed %d: %d scheduled, %d fired, %d cancelled, heap high-water %d, pool hit rate %.4f\n",
+			jobs[0].Seed, es.Scheduled, es.Fired, es.Cancelled, es.HeapHighWater, es.PoolHitRate())
+	}
+}
+
+// writeTrace serializes the tracer: compact binary when the path ends
+// in .bin, JSONL otherwise.
+func writeTrace(path string, t *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		if err := t.WriteBinary(f); err != nil {
+			return err
+		}
+	} else if err := t.WriteJSONL(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// sampleTable renders the time-series telemetry, thinned to at most 20
+// evenly spaced windows so a long run stays one screen.
+func sampleTable(s *netsim.SampleSeries, seed int64) report.Table {
+	tb := report.Table{
+		ID:     "samples",
+		Title:  fmt.Sprintf("sampled telemetry (%d windows of %.0f us), seed %d", s.Windows(), s.IntervalUs, seed),
+		Header: []string{"t ms", "busy", "coll", "nav", "VO Mbps", "BE Mbps", "BE queue"},
+	}
+	n := s.Windows()
+	step := 1
+	if n > 20 {
+		step = (n + 19) / 20
+	}
+	for i := 0; i < n; i += step {
+		tb.AddRow(fmt.Sprintf("%.2f", s.TimeUs[i]/1e3),
+			fmt.Sprintf("%.3f", s.BusyFrac[i]),
+			fmt.Sprintf("%.3f", s.CollisionFrac[i]),
+			fmt.Sprintf("%.3f", s.NavFrac[i]),
+			fmt.Sprintf("%.2f", s.AcGoodputMbps[netsim.AC_VO][i]),
+			fmt.Sprintf("%.2f", s.AcGoodputMbps[netsim.AC_BE][i]),
+			s.AcQueueDepth[netsim.AC_BE][i])
+	}
+	return tb
 }

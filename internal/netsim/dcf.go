@@ -69,13 +69,23 @@ func (q *acQueue) params() *AcParams { return &q.node.net.edca[q.ac] }
 // counter.
 func (nd *Node) enqueue(p *packet) bool {
 	q := &nd.acq[p.ac]
+	net := nd.net
 	if len(q.queue) >= q.params().QueueLimit {
-		nd.net.queueDrop[p.ac]++
+		net.queueDrop[p.ac]++
 		p.flow.queueDrops++
+		if net.probe != nil {
+			net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvQueueDrop,
+				AC: p.ac, Node: nd.id, Peer: -1, Bytes: p.bytes})
+		}
 		return false
 	}
 	nd.joinCS()
 	q.queue = append(q.queue, p)
+	if net.probe != nil {
+		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvEnqueue,
+			AC: p.ac, Node: nd.id, Peer: -1, Bytes: p.bytes,
+			Value: float64(len(q.queue))})
+	}
 	if !q.contending && !nd.transmitting {
 		q.startContention()
 	}
@@ -126,6 +136,10 @@ func (q *acQueue) tryResume() {
 	delay := p.AifsUs + float64(q.backoffSlots)*nd.net.cfg.Dcf.SlotUs
 	q.fireAtUs = nd.net.eng.Now() + delay
 	q.boEvent = nd.net.eng.Schedule(delay, q.fire)
+	if net := nd.net; net.probe != nil {
+		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvBackoffResume,
+			AC: q.ac, Node: nd.id, Peer: -1, Value: float64(q.backoffSlots)})
+	}
 }
 
 // tryResume re-arms every contending category (medium idle / NAV
@@ -193,6 +207,10 @@ func (q *acQueue) exchangeFailed(dropHead bool) {
 func (q *acQueue) virtualCollision() {
 	net := q.node.net
 	net.virtualColl++
+	if net.probe != nil {
+		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvVirtualCollision,
+			AC: q.ac, Node: q.node.id, Peer: -1})
+	}
 	q.exchangeFailed(true)
 	if len(q.queue) == 0 {
 		q.contending = false
@@ -216,7 +234,9 @@ func (nd *Node) pause() {
 		}
 		q.boEvent.Cancel()
 		q.boEvent = sim.EventRef{}
-		if q.bankElapsedSlots() && q.backoffSlots == 0 {
+		began := q.bankElapsedSlots()
+		q.emitFreeze()
+		if began && q.backoffSlots == 0 {
 			if ready == nil {
 				ready = q
 			} else if q.ac > ready.ac {
@@ -244,7 +264,22 @@ func (nd *Node) freezeBackoff() {
 		q.boEvent.Cancel()
 		q.boEvent = sim.EventRef{}
 		q.bankElapsedSlots()
+		q.emitFreeze()
 	}
+}
+
+// emitFreeze reports a cancelled countdown to the probe. Callers bank
+// the elapsed slots first, so the slots shown are post-bank — what the
+// queue will resume with, matching what EvBackoffResume later shows.
+// Pure observation: the probe-on and probe-off paths run the same MAC
+// state transitions.
+func (q *acQueue) emitFreeze() {
+	net := q.node.net
+	if net.probe == nil {
+		return
+	}
+	net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvBackoffFreeze,
+		AC: q.ac, Node: q.node.id, Peer: -1, Value: float64(q.backoffSlots)})
 }
 
 // setNav extends the node's NAV to untilUs — virtual carrier sense from
@@ -263,6 +298,10 @@ func (nd *Node) setNav(untilUs float64) bool {
 	nd.freezeBackoff()
 	nd.navUntilUs = untilUs
 	nd.armNavEvent(untilUs)
+	if net := nd.net; net.probe != nil {
+		net.probe.OnEvent(Event{TimeUs: now, Kind: EvNavSet,
+			Node: nd.id, Peer: -1, Value: untilUs})
+	}
 	return true
 }
 
@@ -279,6 +318,10 @@ func (nd *Node) shrinkNav(untilUs float64) {
 	}
 	nd.navUntilUs = untilUs
 	nd.armNavEvent(untilUs)
+	if net := nd.net; net.probe != nil {
+		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvNavSet,
+			Node: nd.id, Peer: -1, Value: untilUs})
+	}
 	nd.tryResume()
 }
 
@@ -286,6 +329,10 @@ func (nd *Node) armNavEvent(untilUs float64) {
 	nd.navEvent.Cancel()
 	nd.navEvent = nd.net.eng.At(untilUs, func() {
 		nd.navEvent = sim.EventRef{}
+		if net := nd.net; net.probe != nil {
+			net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvNavExpire,
+				Node: nd.id, Peer: -1})
+		}
 		nd.tryResume()
 	})
 }
@@ -343,7 +390,24 @@ func (nd *Node) transmit(q *acQueue) {
 	nd.transmitting = true
 	nd.txop = &Txop{q: q, StartUs: nd.net.eng.Now(), LimitUs: q.params().TxopLimitUs}
 	nd.net.txops++
+	if net := nd.net; net.probe != nil {
+		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvTxopOpen,
+			AC: q.ac, Node: nd.id, Peer: -1, Value: q.params().TxopLimitUs})
+	}
 	nd.launch(nd.buildExchange(nd.txop))
+}
+
+// emitTxopClose reports the release of a held transmit opportunity,
+// with the hold time as Value. Call before clearing nd.txop; a nil txop
+// (the CTS responder's stand-down path) emits nothing.
+func (nd *Node) emitTxopClose() {
+	net := nd.net
+	if net.probe == nil || nd.txop == nil {
+		return
+	}
+	now := net.eng.Now()
+	net.probe.OnEvent(Event{TimeUs: now, Kind: EvTxopClose,
+		AC: nd.txop.q.ac, Node: nd.id, Peer: -1, Value: now - nd.txop.StartUs})
 }
 
 // sendRts puts the short RTS on the air. Its SINR — not the data
@@ -356,7 +420,7 @@ func (nd *Node) sendRts(ex *exchange) {
 	net.rtsSent++
 	nav := net.eng.Now() + net.rtsAirUs() + d.SIFSUs + net.ctsAirUs() +
 		d.SIFSUs + ex.dataAirUs()
-	tr := &transmission{kind: frameRts, tx: nd, rx: ex.rx, pkt: ex.mpdus[0], ex: ex,
+	tr := &transmission{kind: FrameRts, tx: nd, rx: ex.rx, pkt: ex.mpdus[0], ex: ex,
 		mode: net.robustMode(), navUntilUs: nav, startUs: net.eng.Now()}
 	nd.med.start(tr)
 	net.eng.Schedule(net.rtsAirUs(), func() { nd.completeRts(tr) })
@@ -368,7 +432,13 @@ func (nd *Node) sendRts(ex *exchange) {
 func (nd *Node) completeRts(tr *transmission) {
 	nd.med.finish(tr)
 	net := nd.net
-	if !nd.med.succeeds(tr) {
+	ok := nd.med.succeeds(tr)
+	if net.probe != nil {
+		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvRxOutcome,
+			Frame: FrameRts, AC: tr.pkt.ac, Node: nd.id, Peer: tr.rx.id,
+			Mpdus: 1, Ok: ok, SinrDB: nd.med.sinrDB(tr), Mode: tr.mode.Name})
+	}
+	if !ok {
 		net.rtsFailed++
 		nd.releaseNav(tr)
 		nd.fail(tr)
@@ -433,7 +503,7 @@ func (nd *Node) sendCts(rts *transmission) {
 	nd.transmitting = true
 	nd.curPkt = nil
 	nav := net.eng.Now() + net.ctsAirUs() + d.SIFSUs + rts.ex.dataAirUs()
-	tr := &transmission{kind: frameCts, tx: nd, rx: peer, pkt: rts.pkt,
+	tr := &transmission{kind: FrameCts, tx: nd, rx: peer, pkt: rts.pkt,
 		mode: net.robustMode(), navUntilUs: nav, startUs: net.eng.Now()}
 	nd.med.start(tr)
 	net.eng.Schedule(net.ctsAirUs(), func() {
@@ -466,7 +536,7 @@ func (nd *Node) sendData(ex *exchange) {
 	for _, p := range ex.mpdus {
 		p.flow.attemptedMpdu(ex.mode.RateMbps)
 	}
-	tr := &transmission{kind: frameData, tx: nd, rx: ex.rx, pkt: ex.mpdus[0], ex: ex,
+	tr := &transmission{kind: FrameData, tx: nd, rx: ex.rx, pkt: ex.mpdus[0], ex: ex,
 		mode: ex.mode, startUs: net.eng.Now()}
 	nd.med.start(tr)
 	net.eng.Schedule(ex.dataAirUs(), func() { nd.complete(tr) })
@@ -485,7 +555,14 @@ func (nd *Node) complete(tr *transmission) {
 		return
 	}
 	net.acAirtimeUs[tr.pkt.ac] += tr.ex.airUs()
-	if !nd.med.succeeds(tr) {
+	ok := nd.med.succeeds(tr)
+	if net.probe != nil {
+		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvRxOutcome,
+			Frame: FrameData, AC: tr.pkt.ac, Node: nd.id, Peer: tr.rx.id,
+			Bytes: tr.pkt.bytes, Mpdus: 1, Ok: ok,
+			SinrDB: nd.med.sinrDB(tr), Mode: tr.mode.Name})
+	}
+	if !ok {
 		if net.cfg.Arf != nil {
 			nd.arfFor(tr.rx).OnFailure()
 		}
@@ -531,6 +608,7 @@ func (nd *Node) complete(tr *transmission) {
 	}
 	nd.transmitting = false
 	nd.curPkt = nil
+	nd.emitTxopClose()
 	nd.txop = nil
 	deliver()
 	nd.recontend()
@@ -548,9 +626,10 @@ func (nd *Node) fail(tr *transmission) {
 	net := nd.net
 	nd.transmitting = false
 	nd.curPkt = nil
+	nd.emitTxopClose()
 	nd.txop = nil
 	ac := tr.pkt.ac
-	if tr.kind == frameRts {
+	if tr.kind == FrameRts {
 		// Only the RTS aired; data exchanges account their full span in
 		// complete/completeAmpdu.
 		net.acAirtimeUs[ac] += net.rtsAirUs()

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -73,19 +74,104 @@ func equivScenarios() []struct {
 	}
 }
 
+// sliceProbe records every event into a growing slice. It lives here
+// rather than using trace.Tracer because the trace package imports
+// netsim — the in-package tests need their own recorder.
+type sliceProbe struct{ events []Event }
+
+func (p *sliceProbe) OnEvent(ev Event) { p.events = append(p.events, ev) }
+
+// firstDivergence locates the first index where two event streams
+// differ (Event is a flat comparable struct). ok=false means the
+// streams agree over their common prefix and length.
+func firstDivergence(a, b []Event) (int, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i, true
+		}
+	}
+	if len(a) != len(b) {
+		return n, true
+	}
+	return 0, false
+}
+
+// explainDivergence re-runs both configurations with probes attached
+// and reports the first event where their streams part ways — turning
+// "hash mismatch" into "at t=…, config A did X while config B did Y",
+// which is usually enough to name the broken mechanism.
+func explainDivergence(buildA, buildB func() *Network, durationUs float64) string {
+	pa, pb := &sliceProbe{}, &sliceProbe{}
+	na, nb := buildA(), buildB()
+	na.AttachProbe(pa)
+	nb.AttachProbe(pb)
+	na.Run(durationUs)
+	nb.Run(durationUs)
+	i, diff := firstDivergence(pa.events, pb.events)
+	if !diff {
+		return "event traces are identical; the divergence is in result aggregation only"
+	}
+	at := func(evs []Event, i int) string {
+		if i >= len(evs) {
+			return fmt.Sprintf("<stream ended at %d events>", len(evs))
+		}
+		return fmt.Sprintf("%+v", evs[i])
+	}
+	return fmt.Sprintf("first diverging event at index %d:\n  A: %s\n  B: %s",
+		i, at(pa.events, i), at(pb.events, i))
+}
+
 func TestSpatialIndexEquivalence(t *testing.T) {
 	for _, sc := range equivScenarios() {
 		t.Run(sc.name, func(t *testing.T) {
 			for seed := int64(1); seed <= equivSeeds; seed++ {
-				run := func(disable bool) string {
+				build := func(disable bool) func() *Network {
 					cfg := DefaultConfig()
 					cfg.DisableSpatialIndex = disable
-					return fingerprint(sc.build(cfg)(seed).Run(sc.durationUs))
+					return func() *Network { return sc.build(cfg)(seed) }
+				}
+				run := func(disable bool) string {
+					return fingerprint(build(disable)().Run(sc.durationUs))
 				}
 				indexed, brute := run(false), run(true)
 				if indexed != brute {
-					t.Fatalf("seed %d: indexed run diverged from the brute-force oracle\nindexed:\n%s\nbrute:\n%s",
-						seed, indexed, brute)
+					t.Fatalf("seed %d: indexed run diverged from the brute-force oracle\n%s\nindexed:\n%s\nbrute:\n%s",
+						seed, explainDivergence(build(false), build(true), sc.durationUs),
+						indexed, brute)
+				}
+			}
+		})
+	}
+}
+
+// TestObservationEquivalence pins the probe layer's core contract:
+// attaching a probe and running the sampler must not perturb the
+// simulation. Every preset's fingerprint must be bit-identical between
+// a bare run and one carrying a recording probe plus a telemetry tick.
+func TestObservationEquivalence(t *testing.T) {
+	for _, sc := range equivScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= equivSeeds; seed++ {
+				bare := fingerprint(sc.build(DefaultConfig())(seed).Run(sc.durationUs))
+				cfg := DefaultConfig()
+				cfg.SampleIntervalUs = sc.durationUs / 64
+				n := sc.build(cfg)(seed)
+				probe := &sliceProbe{}
+				n.AttachProbe(probe)
+				r := n.Run(sc.durationUs)
+				if observed := fingerprint(r); observed != bare {
+					t.Fatalf("seed %d: observation perturbed the run\nbare:\n%s\nobserved:\n%s",
+						seed, bare, observed)
+				}
+				if len(probe.events) == 0 {
+					t.Fatalf("seed %d: probe saw no events", seed)
+				}
+				if r.Samples == nil || r.Samples.Windows() == 0 {
+					t.Fatalf("seed %d: sampler recorded no windows", seed)
 				}
 			}
 		})

@@ -28,21 +28,36 @@ type medium struct {
 	nextOrd int
 	bufs    [][]*Node
 
-	// union busy-time accounting for the airtime-fraction stat
-	busyUs      float64
-	busyStartUs float64
+	// union busy-time accounting for the airtime-fraction stat, plus
+	// the overlap (≥2 concurrent frames — collision airtime) integral
+	// the sampler's collision-fraction column reads.
+	busyUs         float64
+	busyStartUs    float64
+	overlapUs      float64
+	overlapStartUs float64
 }
 
-// frameKind distinguishes what is on the air: data frames and RTSs are
-// judged by SINR at the receiver, the CTS is a pure reservation
-// announcement (the RTS it answers already proved the link).
-type frameKind int
+// busyUsAt / overlapUsAt close the running busy/overlap integrals at
+// time nowUs without mutating them — the sampler reads mid-run.
+func (m *medium) busyUsAt(nowUs float64) float64 {
+	if len(m.active) > 0 {
+		return m.busyUs + nowUs - m.busyStartUs
+	}
+	return m.busyUs
+}
 
-const (
-	frameData frameKind = iota
-	frameRts
-	frameCts
-)
+func (m *medium) overlapUsAt(nowUs float64) float64 {
+	if len(m.active) > 1 {
+		return m.overlapUs + nowUs - m.overlapStartUs
+	}
+	return m.overlapUs
+}
+
+// What is on the air is discriminated by FrameKind (probe.go): data
+// frames and RTSs are judged by SINR at the receiver, the CTS is a pure
+// reservation announcement (the RTS it answers already proved the
+// link). The type is exported so trace events name frames the same way
+// the medium does.
 
 // contribution is one interference term this transmission added to a
 // concurrent one, snapshotted at the moment it was added. finish
@@ -59,7 +74,7 @@ type contribution struct {
 // concurrent arrivals; the worst overlap decides the SINR the frame is
 // judged at.
 type transmission struct {
-	kind    frameKind
+	kind    FrameKind
 	tx, rx  *Node
 	pkt     *packet
 	mode    linkmodel.Mode
@@ -234,9 +249,14 @@ func (m *medium) putBuf(b []*Node) { m.bufs = append(m.bufs, b) }
 func (m *medium) start(tr *transmission) {
 	if len(m.active) == 0 {
 		m.busyStartUs = m.net.eng.Now()
+	} else if len(m.active) == 1 {
+		m.overlapStartUs = m.net.eng.Now()
 	}
 	prev := m.active
 	m.active = append(m.active, tr)
+	if m.net.probe != nil {
+		m.net.probe.OnEvent(m.net.txEvent(EvTxStart, tr))
+	}
 
 	// Snapshot the crossed interference only when gains can actually
 	// change mid-frame (roamScan is the one thing that moves nodes);
@@ -332,6 +352,11 @@ func (m *medium) finish(tr *transmission) {
 	tr.done = true
 	if len(m.active) == 0 {
 		m.busyUs += m.net.eng.Now() - m.busyStartUs
+	} else if len(m.active) == 1 {
+		m.overlapUs += m.net.eng.Now() - m.overlapStartUs
+	}
+	if m.net.probe != nil {
+		m.net.probe.OnEvent(m.net.txEvent(EvTxEnd, tr))
 	}
 	if m.net.cfg.RoamIntervalUs > 0 {
 		// Gains may have shifted mid-frame: unwind the snapshot.
@@ -366,7 +391,7 @@ func (m *medium) finish(tr *transmission) {
 // CTS is never judged: the RTS it answers already proved the link, and
 // protocol responses are not re-drawn.
 func (m *medium) succeeds(tr *transmission) bool {
-	if tr.kind == frameCts {
+	if tr.kind == FrameCts {
 		return true
 	}
 	if tr.doomed || tr.rx.med != m {

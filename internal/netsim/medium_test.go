@@ -23,8 +23,8 @@ func TestFinishUnwindsSnapshotAfterMidFrameMove(t *testing.T) {
 	m := n.media[0]
 
 	// Two concurrent frames on far-apart links: s1→AP1 and s2→AP2.
-	tr1 := &transmission{kind: frameData, tx: s1, rx: b1.AP, mode: n.robustMode()}
-	tr2 := &transmission{kind: frameData, tx: s2, rx: b2.AP, mode: n.robustMode()}
+	tr1 := &transmission{kind: FrameData, tx: s1, rx: b1.AP, mode: n.robustMode()}
+	tr2 := &transmission{kind: FrameData, tx: s2, rx: b2.AP, mode: n.robustMode()}
 	m.start(tr1)
 	m.start(tr2)
 	added := mwFromDBm(n.rxPowerDBm(s1, b2.AP))
@@ -60,8 +60,8 @@ func TestFinishSkipsAlreadyFinishedVictims(t *testing.T) {
 	n.build()
 	m := n.media[0]
 
-	tr1 := &transmission{kind: frameData, tx: s1, rx: b1.AP, mode: n.robustMode()}
-	tr2 := &transmission{kind: frameData, tx: s2, rx: b2.AP, mode: n.robustMode()}
+	tr1 := &transmission{kind: FrameData, tx: s1, rx: b1.AP, mode: n.robustMode()}
+	tr2 := &transmission{kind: FrameData, tx: s2, rx: b2.AP, mode: n.robustMode()}
 	m.start(tr1)
 	m.start(tr2)
 	m.finish(tr2) // victim ends first

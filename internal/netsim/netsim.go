@@ -128,6 +128,14 @@ type Config struct {
 	RoamIntervalUs   float64
 	RoamHysteresisDB float64
 
+	// SampleIntervalUs, when positive, attaches a time-series sampler
+	// that snapshots telemetry every tick — per-AC/per-BSS goodput,
+	// queue depths, medium busy/collision airtime fractions, NAV
+	// occupancy — into the columnar SampleSeries on Result.Samples. The
+	// tick only reads state and reschedules itself, so a sampled run is
+	// bit-identical to an unsampled one. 0 disables sampling.
+	SampleIntervalUs float64
+
 	// DisableSpatialIndex switches medium.start back to the brute-force
 	// O(nodes) scan for carrier sense and NAV adoption instead of the
 	// spatial grid index (spatial.go). The two paths are bit-for-bit
@@ -204,6 +212,9 @@ func (c Config) Validate() {
 	if c.RoamIntervalUs < 0 || math.IsNaN(c.RoamIntervalUs) {
 		panic(fmt.Sprintf("netsim: Config.RoamIntervalUs must not be negative, got %v", c.RoamIntervalUs))
 	}
+	if c.SampleIntervalUs < 0 || math.IsNaN(c.SampleIntervalUs) || math.IsInf(c.SampleIntervalUs, 0) {
+		panic(fmt.Sprintf("netsim: Config.SampleIntervalUs must be a non-negative finite number, got %v", c.SampleIntervalUs))
+	}
 	if c.Edca != nil {
 		c.Edca.validate()
 	}
@@ -223,6 +234,10 @@ func (c Config) Validate() {
 type BSS struct {
 	AP      *Node
 	Channel int
+
+	// idx is the BSS's position in Network.bss — the row index of its
+	// per-BSS telemetry columns (SampleSeries.BssGoodputMbps).
+	idx int
 }
 
 // Node is a station or AP. All MAC state (per-AC queues, backoff,
@@ -378,6 +393,18 @@ type Network struct {
 	acAirtimeUs     [NumACs]float64
 	ampduHist       map[int]int
 	blockAckRetries int
+
+	// probe, when attached, receives one Event per instrumented point in
+	// the MAC/medium hot paths (probe.go). Every hot emission site guards
+	// on this field directly so a probe-less run pays one nil-check.
+	probe Probe
+
+	// sampler drives the Config.SampleIntervalUs telemetry tick;
+	// acBytesDelivered / bssBytes are the cumulative delivered-byte
+	// counters its goodput columns difference per window.
+	sampler          *sampler
+	acBytesDelivered [NumACs]int
+	bssBytes         []int
 }
 
 // New returns an empty network. All randomness (shadowing, backoff,
@@ -431,7 +458,7 @@ func (n *Network) Src() *rng.Source { return n.src }
 // AddAP creates a BSS with its AP at (x, y) on the given channel.
 func (n *Network) AddAP(name string, x, y float64, ch int) *BSS {
 	ap := n.addNode(name, x, y, true)
-	b := &BSS{AP: ap, Channel: ch}
+	b := &BSS{AP: ap, Channel: ch, idx: len(n.bss)}
 	ap.bss = b
 	n.bss = append(n.bss, b)
 	return b
@@ -568,6 +595,7 @@ func (n *Network) build() {
 			m.addNode(nd)
 		}
 	}
+	n.bssBytes = make([]int, len(n.bss))
 	n.built = true
 }
 
@@ -713,6 +741,10 @@ func (n *Network) Prepare() {
 	if n.cfg.RoamIntervalUs > 0 {
 		n.eng.Schedule(n.cfg.RoamIntervalUs, n.roamScan)
 	}
+	if n.cfg.SampleIntervalUs > 0 {
+		n.sampler = newSampler(n)
+		n.sampler.arm()
+	}
 }
 
 // Run plays the network for durationUs of virtual time and returns the
@@ -849,6 +881,8 @@ func (nd *Node) reassociate(b *BSS) {
 		}
 	}
 	nd.tryResume()
+	nd.net.emit(Event{Kind: EvRoam, Node: nd.id, Peer: b.AP.id,
+		Value: float64(oldAp.id)})
 	nd.net.handoffDownlink(nd, oldAp, b.AP)
 }
 
@@ -976,6 +1010,15 @@ type Result struct {
 	AggGoodputMbps float64
 	// AirtimeFrac is the union busy fraction of the busiest channel.
 	AirtimeFrac float64
+
+	// Samples is the time-series telemetry recorded when
+	// Config.SampleIntervalUs was set; nil otherwise. See SampleSeries.
+	Samples *SampleSeries
+
+	// EngineStats is the discrete-event engine's introspection snapshot:
+	// events scheduled/fired/cancelled, heap high-water mark, and the
+	// event-record pool hit rate.
+	EngineStats sim.Stats
 }
 
 func (n *Network) collect(durationUs float64) Result {
@@ -1023,6 +1066,10 @@ func (n *Network) collect(durationUs float64) Result {
 			res.AirtimeFrac = frac
 		}
 	}
+	if n.sampler != nil {
+		res.Samples = n.sampler.finish(durationUs)
+	}
+	res.EngineStats = n.eng.Stats()
 	return res
 }
 

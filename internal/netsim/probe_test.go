@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// TestProbeOffNoAllocs pins the zero-overhead claim at its sharpest
+// point: with no probe attached, the emission path must not allocate.
+// The hot sites guard with an inline nil-check before even constructing
+// the Event; emit() is the cold-path helper, and even there the Event is
+// a flat value struct that must stay on the stack when the probe is nil.
+func TestProbeOffNoAllocs(t *testing.T) {
+	n := SingleLink(DefaultConfig(), 20, 1000)(1)
+	n.Prepare()
+	if n.probe != nil {
+		t.Fatal("fresh network has a probe attached")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		n.emit(Event{Kind: EvRoam, Node: 1, Peer: 0, Value: 2})
+	})
+	if allocs != 0 {
+		t.Fatalf("probe-off emit allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestEventKindNames: every kind has a distinct snake_case name and
+// EventKindByName round-trips it (the -trace-events flag parses these).
+func TestEventKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := EventKind(0); k < NumEventKinds; k++ {
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Fatalf("kind %d: name %q empty or duplicate", k, name)
+		}
+		seen[name] = true
+		got, ok := EventKindByName(name)
+		if !ok || got != k {
+			t.Fatalf("EventKindByName(%q) = %v, %v; want %v, true", name, got, ok, k)
+		}
+	}
+	if _, ok := EventKindByName("no_such_event"); ok {
+		t.Fatal("EventKindByName accepted an unknown name")
+	}
+}
+
+// TestAmpduBitmap: bit i mirrors MPDU i's verdict, and bursts past 64
+// MPDUs truncate rather than wrap.
+func TestAmpduBitmap(t *testing.T) {
+	if got := ampduBitmap(nil); got != 0 {
+		t.Fatalf("empty bitmap = %x, want 0", got)
+	}
+	if got := ampduBitmap([]bool{true, false, true, true}); got != 0b1101 {
+		t.Fatalf("bitmap = %b, want 1101", got)
+	}
+	long := make([]bool, 70)
+	for i := range long {
+		long[i] = true
+	}
+	if got := ampduBitmap(long); got != ^uint64(0) {
+		t.Fatalf("70-MPDU bitmap = %x, want all-ones (truncated at 64)", got)
+	}
+}

@@ -1,6 +1,9 @@
 package netsim
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Job is one independent simulation: a scenario builder plus the seed
 // that makes it reproducible. Build must construct a fresh Network on
@@ -13,6 +16,29 @@ type Job struct {
 	Build      func(seed int64) *Network
 }
 
+// Progress reports one finished job to ScenarioRunner.OnProgress.
+type Progress struct {
+	Index int // job's position in the input slice
+	Done  int // jobs finished so far, this one included
+	Total int
+	Name  string
+	Seed  int64
+
+	// WallSeconds is the job's build+run wall-clock cost; SimUs the
+	// virtual time it covered. SimUs/WallSeconds/1e6 is the realtime
+	// multiple — the figure to watch when sizing a sweep.
+	WallSeconds float64
+	SimUs       float64
+}
+
+// Rate is simulated seconds per wall-clock second (0 when untimed).
+func (p Progress) Rate() float64 {
+	if p.WallSeconds <= 0 {
+		return 0
+	}
+	return p.SimUs / 1e6 / p.WallSeconds
+}
+
 // ScenarioRunner fans jobs across a worker pool. Each worker runs whole
 // jobs, and each job owns every piece of mutable state it touches
 // (engine, nodes, rng.Source), so results are bit-for-bit identical to
@@ -20,14 +46,37 @@ type Job struct {
 type ScenarioRunner struct {
 	// Workers is the pool size; values below 2 run the jobs serially.
 	Workers int
+
+	// OnProgress, when set, is called once per finished job, serialized
+	// under an internal lock so callbacks never interleave even with a
+	// full worker pool. Jobs complete out of order; Done counts
+	// completions, Index identifies the job.
+	OnProgress func(Progress)
 }
 
 // RunAll executes every job and returns results in job order.
 func (r ScenarioRunner) RunAll(jobs []Job) []Result {
 	out := make([]Result, len(jobs))
+	done := 0
+	var mu sync.Mutex
+	runOne := func(i int) {
+		j := jobs[i]
+		start := time.Now()
+		out[i] = j.Build(j.Seed).Run(j.DurationUs)
+		if r.OnProgress == nil {
+			return
+		}
+		wall := time.Since(start).Seconds()
+		mu.Lock()
+		done++
+		p := Progress{Index: i, Done: done, Total: len(jobs), Name: j.Name,
+			Seed: j.Seed, WallSeconds: wall, SimUs: j.DurationUs}
+		r.OnProgress(p)
+		mu.Unlock()
+	}
 	if r.Workers < 2 || len(jobs) < 2 {
-		for i, j := range jobs {
-			out[i] = j.Build(j.Seed).Run(j.DurationUs)
+		for i := range jobs {
+			runOne(i)
 		}
 		return out
 	}
@@ -42,8 +91,7 @@ func (r ScenarioRunner) RunAll(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				j := jobs[i]
-				out[i] = j.Build(j.Seed).Run(j.DurationUs)
+				runOne(i)
 			}
 		}()
 	}

@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSamplerAirtimeTelescopes pins the delta-column contract: the
+// per-window airtime figures are differenced from the same cumulative
+// counters the aggregate TxopAirtimeFrac divides, and the final partial
+// window is flushed at collect time — so summing a category's airtime
+// column over every window must recover its aggregate fraction exactly
+// (to float addition order, hence the 1e-9 tolerance).
+func TestSamplerAirtimeTelescopes(t *testing.T) {
+	const durationUs = 1.5e5
+	cfg := DefaultConfig()
+	// A tick that does not divide the duration, so the final window is a
+	// genuine partial flush rather than a regular tick.
+	cfg.SampleIntervalUs = durationUs / 7.3
+	r := TrafficMix(cfg, 3, 2, 1, 2)(1).Run(durationUs)
+
+	s := r.Samples
+	if s == nil || s.Windows() == 0 {
+		t.Fatal("sampler recorded no windows")
+	}
+	if got := s.TimeUs[s.Windows()-1]; got != durationUs {
+		t.Fatalf("last window ends at %v, want the run end %v", got, durationUs)
+	}
+	anyAir := false
+	for ac := 0; ac < int(NumACs); ac++ {
+		sum := 0.0
+		for _, a := range s.AcAirtimeUs[ac] {
+			sum += a
+		}
+		frac := sum / durationUs
+		if diff := math.Abs(frac - r.PerAC[ac].TxopAirtimeFrac); diff > 1e-9 {
+			t.Fatalf("%s: windows integrate to %v, aggregate TxopAirtimeFrac %v (diff %g)",
+				AC(ac), frac, r.PerAC[ac].TxopAirtimeFrac, diff)
+		}
+		if sum > 0 {
+			anyAir = true
+		}
+	}
+	if !anyAir {
+		t.Fatal("no category recorded any airtime — the scenario carried no traffic")
+	}
+
+	// Per-window goodput telescopes the same way, and the busy fraction
+	// is a fraction.
+	for ac := 0; ac < int(NumACs); ac++ {
+		bits := 0.0
+		prevEnd := 0.0
+		for i, g := range s.AcGoodputMbps[ac] {
+			bits += g * (s.TimeUs[i] - prevEnd)
+			prevEnd = s.TimeUs[i]
+		}
+		agg := 0.0
+		for _, f := range r.Flows {
+			if f.AC == AC(ac) {
+				agg += f.GoodputMbps * durationUs
+			}
+		}
+		if math.Abs(bits-agg) > 1e-6*math.Max(1, agg) {
+			t.Fatalf("%s: goodput windows integrate to %v bit-us, flows say %v",
+				AC(ac), bits, agg)
+		}
+	}
+	for i := 0; i < s.Windows(); i++ {
+		if s.BusyFrac[i] < 0 || s.BusyFrac[i] > 1+1e-9 {
+			t.Fatalf("window %d: BusyFrac %v outside [0,1]", i, s.BusyFrac[i])
+		}
+		if s.CollisionFrac[i] < 0 || s.CollisionFrac[i] > s.BusyFrac[i]+1e-9 {
+			t.Fatalf("window %d: CollisionFrac %v exceeds BusyFrac %v",
+				i, s.CollisionFrac[i], s.BusyFrac[i])
+		}
+		if s.NavFrac[i] < 0 || s.NavFrac[i] > 1 {
+			t.Fatalf("window %d: NavFrac %v outside [0,1]", i, s.NavFrac[i])
+		}
+	}
+}
+
+// TestSamplerOffByDefault: without SampleIntervalUs the run carries no
+// series and schedules no ticks.
+func TestSamplerOffByDefault(t *testing.T) {
+	r := SingleLink(DefaultConfig(), 20, 1000)(1).Run(5e4)
+	if r.Samples != nil {
+		t.Fatalf("Samples = %+v, want nil when SampleIntervalUs is 0", r.Samples)
+	}
+}

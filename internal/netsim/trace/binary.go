@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/netsim"
+)
+
+// The compact binary trace form: a pcap-like flat record stream for
+// traces too large to keep as JSONL. Little-endian throughout.
+//
+//	header:  magic "NTRC" | version u8 | pad [3]u8 | count u32
+//	record:  ts f64 | kind u8 | frame u8 | ac u8 | ok u8
+//	         | node i32 | peer i32 | bytes i32 | mpdus i32
+//	         | sinr f64 | value f64 | bitmap u64
+//	         | modeLen u8 | mode [modeLen]u8
+//
+// Mode strings are short PHY-mode names, so a record is 53 bytes plus
+// the name — about a third of its JSONL line.
+
+var binMagic = [4]byte{'N', 'T', 'R', 'C'}
+
+const binVersion = 1
+
+// fixed-size record prefix before the mode string.
+const recFixed = 8 + 4 + 4*4 + 8 + 8 + 8 + 1
+
+// WriteBinary serializes events in the binary trace form.
+func WriteBinary(w io.Writer, events []netsim.Event) error {
+	bw := bufio.NewWriter(w)
+	var hdr [12]byte
+	copy(hdr[:4], binMagic[:])
+	hdr[4] = binVersion
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(events)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, recFixed+16)
+	for i := range events {
+		buf = appendRecord(buf[:0], &events[i])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBinary serializes the tracer's captured events, oldest first.
+func (t *Tracer) WriteBinary(w io.Writer) error { return WriteBinary(w, t.Events()) }
+
+func appendRecord(b []byte, ev *netsim.Event) []byte {
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(ev.TimeUs))
+	ok := byte(0)
+	if ev.Ok {
+		ok = 1
+	}
+	b = append(b, byte(ev.Kind), byte(ev.Frame), byte(ev.AC), ok)
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(ev.Node)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(ev.Peer)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(ev.Bytes)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(ev.Mpdus)))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(ev.SinrDB))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(ev.Value))
+	b = binary.LittleEndian.AppendUint64(b, ev.Bitmap)
+	if len(ev.Mode) > 255 {
+		ev.Mode = ev.Mode[:255]
+	}
+	b = append(b, byte(len(ev.Mode)))
+	return append(b, ev.Mode...)
+}
+
+// ReadBinary decodes a binary trace written by WriteBinary.
+func ReadBinary(r io.Reader) ([]netsim.Event, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != binVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	count := binary.LittleEndian.Uint32(hdr[8:])
+	events := make([]netsim.Event, 0, count)
+	buf := make([]byte, recFixed)
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		ev := netsim.Event{
+			TimeUs: math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+			Kind:   netsim.EventKind(buf[8]),
+			Frame:  netsim.FrameKind(buf[9]),
+			AC:     netsim.AC(buf[10]),
+			Ok:     buf[11] == 1,
+			Node:   int(int32(binary.LittleEndian.Uint32(buf[12:]))),
+			Peer:   int(int32(binary.LittleEndian.Uint32(buf[16:]))),
+			Bytes:  int(int32(binary.LittleEndian.Uint32(buf[20:]))),
+			Mpdus:  int(int32(binary.LittleEndian.Uint32(buf[24:]))),
+			SinrDB: math.Float64frombits(binary.LittleEndian.Uint64(buf[28:])),
+			Value:  math.Float64frombits(binary.LittleEndian.Uint64(buf[36:])),
+			Bitmap: binary.LittleEndian.Uint64(buf[44:]),
+		}
+		if n := int(buf[52]); n > 0 {
+			mode := make([]byte, n)
+			if _, err := io.ReadFull(br, mode); err != nil {
+				return nil, fmt.Errorf("trace: record %d mode: %w", i, err)
+			}
+			ev.Mode = string(mode)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}

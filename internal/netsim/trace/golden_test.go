@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace")
+
+// goldenRun is the reference capture: a 5 ms saturated single-link
+// A-MPDU run, the same shape as `netsim -scenario single -ampdu 8`.
+// Deterministic because the whole simulation draws from one seeded
+// rng.Source and the Tracer is a pure observer.
+func goldenRun() *Tracer {
+	cfg := netsim.DefaultConfig()
+	a := netsim.DefaultAggregation()
+	a.MaxAmpduFrames = 8
+	cfg.Aggregation = &a
+	n := netsim.SingleLink(cfg, 20, 1000)(1)
+	tr := New()
+	n.AttachProbe(tr)
+	n.Run(5e3)
+	return tr
+}
+
+// TestGoldenJSONL pins the serialized trace of the reference run
+// byte-for-byte. A diff here means either the simulation's event
+// sequence moved (timing, ordering, verdicts) or the JSONL layout
+// changed — both are contract changes that should be deliberate:
+// regenerate with `go test ./internal/netsim/trace -run Golden -update`.
+func TestGoldenJSONL(t *testing.T) {
+	tr := goldenRun()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "singlelink_ampdu.jsonl")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record the golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace diverged from golden %s — timing, ordering, or layout changed.\ngot %d bytes, want %d; rerun with -update if deliberate",
+			path, buf.Len(), len(want))
+	}
+}
+
+// TestGoldenTxopSequence asserts the A-MPDU exchange grammar on the
+// captured stream: every TXOP opens, carries exactly one data tx_start/
+// tx_end pair (8 MPDUs, saturated queue), is judged per-MPDU, answered
+// with a Block-ACK, and closes — in that order, with no interleaving
+// (one sender, one channel).
+func TestGoldenTxopSequence(t *testing.T) {
+	events := goldenRun().Events()
+	if len(events) == 0 {
+		t.Fatal("reference run produced no events")
+	}
+	type st int
+	const (
+		idle st = iota
+		opened
+		onAir
+		landed
+		judged
+		acked
+	)
+	state := idle
+	txops := 0
+	for i, ev := range events {
+		switch ev.Kind {
+		case netsim.EvTxopOpen:
+			if state != idle {
+				t.Fatalf("event %d: txop_open in state %d", i, state)
+			}
+			state = opened
+		case netsim.EvTxStart:
+			if state != opened {
+				t.Fatalf("event %d: tx_start outside an open TXOP", i)
+			}
+			if ev.Frame != netsim.FrameData || ev.Mpdus != 8 {
+				t.Fatalf("event %d: want an 8-MPDU data burst, got %+v", i, ev)
+			}
+			state = onAir
+		case netsim.EvTxEnd:
+			if state != onAir {
+				t.Fatalf("event %d: tx_end with nothing on the air", i)
+			}
+			state = landed
+		case netsim.EvRxOutcome:
+			if state != landed {
+				t.Fatalf("event %d: rx_outcome before tx_end", i)
+			}
+			if ev.Mpdus != 8 {
+				t.Fatalf("event %d: verdict covers %d MPDUs, want 8", i, ev.Mpdus)
+			}
+			state = judged
+		case netsim.EvBlockAck:
+			if state != judged {
+				t.Fatalf("event %d: block_ack before the per-MPDU verdict", i)
+			}
+			if ev.Bitmap == 0 && ev.Ok {
+				t.Fatalf("event %d: ok Block-ACK with empty bitmap", i)
+			}
+			state = acked
+		case netsim.EvTxopClose:
+			if state != acked {
+				t.Fatalf("event %d: txop_close in state %d (skipped the Block-ACK?)", i, state)
+			}
+			if ev.Value <= 0 {
+				t.Fatalf("event %d: txop_close carries span %v, want > 0", i, ev.Value)
+			}
+			state = idle
+			txops++
+		}
+	}
+	if txops < 3 {
+		t.Fatalf("5 ms saturated run completed %d TXOPs, expected at least 3", txops)
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"repro/internal/netsim"
+)
+
+// WriteJSONL serializes events one JSON object per line. The encoding
+// is hand-rolled for a stable, compact layout: fields appear in a fixed
+// order, floats print in their shortest round-trip form, and fields
+// that carry nothing for the event's kind are omitted (peer -1, zero
+// bytes/mpdus/value/bitmap, empty mode). Lines look like
+//
+//	{"ts":1032.5,"kind":"tx_start","ac":"AC_BE","node":1,"peer":0,"frame":"data","bytes":3000,"mpdus":2,"mode":"OFDM-54"}
+func WriteJSONL(w io.Writer, events []netsim.Event) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for i := range events {
+		buf = appendEventJSON(buf[:0], &events[i])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL serializes the tracer's captured events, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error { return WriteJSONL(w, t.Events()) }
+
+func appendEventJSON(b []byte, ev *netsim.Event) []byte {
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendFloat(b, ev.TimeUs, 'f', -1, 64)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, `","ac":"`...)
+	b = append(b, ev.AC.String()...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(ev.Node), 10)
+	if ev.Peer >= 0 {
+		b = append(b, `,"peer":`...)
+		b = strconv.AppendInt(b, int64(ev.Peer), 10)
+	}
+	switch ev.Kind {
+	case netsim.EvTxStart, netsim.EvTxEnd, netsim.EvRxOutcome:
+		b = append(b, `,"frame":"`...)
+		b = append(b, ev.Frame.String()...)
+		b = append(b, '"')
+	}
+	if ev.Bytes > 0 {
+		b = append(b, `,"bytes":`...)
+		b = strconv.AppendInt(b, int64(ev.Bytes), 10)
+	}
+	if ev.Mpdus > 0 {
+		b = append(b, `,"mpdus":`...)
+		b = strconv.AppendInt(b, int64(ev.Mpdus), 10)
+	}
+	switch ev.Kind {
+	case netsim.EvRxOutcome, netsim.EvBlockAck:
+		b = append(b, `,"ok":`...)
+		b = strconv.AppendBool(b, ev.Ok)
+	}
+	if ev.Kind == netsim.EvRxOutcome {
+		b = append(b, `,"sinr_db":`...)
+		b = strconv.AppendFloat(b, ev.SinrDB, 'f', 3, 64)
+	}
+	if ev.Value != 0 {
+		b = append(b, `,"value":`...)
+		b = strconv.AppendFloat(b, ev.Value, 'f', -1, 64)
+	}
+	if ev.Bitmap != 0 {
+		b = append(b, `,"bitmap":"`...)
+		b = strconv.AppendUint(b, ev.Bitmap, 16)
+		b = append(b, '"')
+	}
+	if ev.Mode != "" {
+		b = append(b, `,"mode":"`...)
+		b = append(b, ev.Mode...)
+		b = append(b, '"')
+	}
+	return append(b, '}')
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netsim"
+)
+
+// Timeline renders an ASCII airtime view of a captured trace: one row
+// per transmitting node, time left to right over [0, durationUs) in
+// width columns. A cell shows what the node had on the air during that
+// slice — 'D' data, 'R' RTS, 'C' CTS, '*' more than one frame kind
+// (only possible when the slice spans several exchanges) — and '.'
+// when it was silent. Meant for short single-link or few-node runs; on
+// a dense floor the rows are legion and the view says little.
+func Timeline(events []netsim.Event, durationUs float64, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if durationUs <= 0 || len(events) == 0 {
+		return ""
+	}
+
+	// Pair tx_start/tx_end per node. Frames still on the air at the end
+	// of the capture close at durationUs.
+	type span struct {
+		node       int
+		frame      netsim.FrameKind
+		start, end float64
+	}
+	var spans []span
+	open := map[int][]int{} // node -> indices of unclosed spans
+	for _, ev := range events {
+		switch ev.Kind {
+		case netsim.EvTxStart:
+			open[ev.Node] = append(open[ev.Node], len(spans))
+			spans = append(spans, span{node: ev.Node, frame: ev.Frame,
+				start: ev.TimeUs, end: durationUs})
+		case netsim.EvTxEnd:
+			if idx := open[ev.Node]; len(idx) > 0 {
+				spans[idx[0]].end = ev.TimeUs
+				open[ev.Node] = idx[1:]
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return ""
+	}
+
+	nodes := make([]int, 0, 8)
+	seen := map[int]bool{}
+	for _, s := range spans {
+		if !seen[s.node] {
+			seen[s.node] = true
+			nodes = append(nodes, s.node)
+		}
+	}
+	sort.Ints(nodes)
+
+	cellUs := durationUs / float64(width)
+	rows := make(map[int][]byte, len(nodes))
+	for _, n := range nodes {
+		rows[n] = []byte(strings.Repeat(".", width))
+	}
+	glyph := func(f netsim.FrameKind) byte {
+		switch f {
+		case netsim.FrameRts:
+			return 'R'
+		case netsim.FrameCts:
+			return 'C'
+		}
+		return 'D'
+	}
+	for _, s := range spans {
+		lo := int(s.start / cellUs)
+		hi := int(s.end / cellUs)
+		if s.end > s.start && hi > lo && s.end == float64(hi)*cellUs {
+			hi-- // exclusive end landing on a cell boundary
+		}
+		for c := lo; c <= hi && c < width; c++ {
+			row := rows[s.node]
+			if g := glyph(s.frame); row[c] == '.' || row[c] == g {
+				row[c] = g
+			} else {
+				row[c] = '*'
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "airtime 0..%.0fus, %.1fus/col (D=data R=rts C=cts)\n",
+		durationUs, cellUs)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "node %3d |%s|\n", n, rows[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// ev builds a minimal event for ring/filter tests; Value doubles as a
+// sequence marker so reorderings are visible.
+func ev(kind netsim.EventKind, tsUs, seq float64) netsim.Event {
+	return netsim.Event{TimeUs: tsUs, Kind: kind, Node: 1, Peer: -1, Value: seq}
+}
+
+func TestTracerRingKeepsNewest(t *testing.T) {
+	tr := New(WithCapacity(4))
+	for i := 0; i < 10; i++ {
+		tr.OnEvent(ev(netsim.EvEnqueue, float64(i), float64(i)))
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("total %d dropped %d, want 10 and 6", tr.Total(), tr.Dropped())
+	}
+	got := tr.Events()
+	if len(got) != 4 {
+		t.Fatalf("kept %d events, want capacity 4", len(got))
+	}
+	for i, e := range got {
+		if want := float64(6 + i); e.Value != want {
+			t.Fatalf("slot %d holds seq %v, want %v (oldest-first of the newest 4)",
+				i, e.Value, want)
+		}
+	}
+}
+
+func TestTracerFilters(t *testing.T) {
+	tr := New(WithKinds(netsim.EvTxStart), WithWindow(10, 20))
+	tr.OnEvent(ev(netsim.EvTxStart, 5, 0))  // before window
+	tr.OnEvent(ev(netsim.EvEnqueue, 12, 1)) // wrong kind
+	tr.OnEvent(ev(netsim.EvTxStart, 12, 2)) // kept
+	tr.OnEvent(ev(netsim.EvTxStart, 20, 3)) // endUs is exclusive
+	if got := tr.Events(); len(got) != 1 || got[0].Value != 2 {
+		t.Fatalf("filters kept %+v, want only seq 2", got)
+	}
+	if tr.Total() != 1 {
+		t.Fatalf("Total counts %d, want 1 (filtered-out events don't count)", tr.Total())
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := New(WithCapacity(2))
+	for i := 0; i < 5; i++ {
+		tr.OnEvent(ev(netsim.EvEnqueue, float64(i), float64(i)))
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	tr.OnEvent(ev(netsim.EvEnqueue, 9, 9))
+	if got := tr.Events(); len(got) != 1 || got[0].Value != 9 {
+		t.Fatalf("post-Reset capture = %+v", got)
+	}
+}
+
+// TestTracerSteadyStateNoAllocs: once the ring is at capacity, recording
+// is a copy into a reused slot — the Tracer may ride a hot loop.
+func TestTracerSteadyStateNoAllocs(t *testing.T) {
+	tr := New(WithCapacity(64))
+	for i := 0; i < 64; i++ {
+		tr.OnEvent(ev(netsim.EvEnqueue, float64(i), float64(i)))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.OnEvent(ev(netsim.EvTxStart, 100, 0))
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state OnEvent allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := New(), New()
+	p := Multi(a, b)
+	p.OnEvent(ev(netsim.EvTxStart, 1, 7))
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatalf("fan-out reached %d and %d probes, want both", a.Total(), b.Total())
+	}
+	if a.Events()[0] != b.Events()[0] {
+		t.Fatal("probes saw different events")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := []netsim.Event{
+		{TimeUs: 43, Kind: netsim.EvTxStart, Frame: netsim.FrameData,
+			AC: netsim.AC_BE, Node: 1, Peer: 0, Bytes: 8000, Mpdus: 8,
+			Mode: "OFDM 54 Mbps"},
+		{TimeUs: 1308.1851851851852, Kind: netsim.EvRxOutcome,
+			Frame: netsim.FrameData, AC: netsim.AC_VO, Node: 1, Peer: 0,
+			Bytes: 8000, Mpdus: 8, Ok: true, SinrDB: 38.402,
+			Bitmap: 0xff, Mode: "OFDM 54 Mbps"},
+		{TimeUs: 2000, Kind: netsim.EvNavSet, Node: 3, Peer: -1, Value: 2710.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round-trip returned %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d changed in transit:\n  wrote %+v\n  read  %+v",
+				i, events[i], got[i])
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a trace file")); err == nil {
+		t.Fatal("ReadBinary accepted garbage")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	events := []netsim.Event{
+		{TimeUs: 0, Kind: netsim.EvTxStart, Frame: netsim.FrameRts, Node: 1, Peer: 0},
+		{TimeUs: 25, Kind: netsim.EvTxEnd, Frame: netsim.FrameRts, Node: 1, Peer: 0},
+		{TimeUs: 30, Kind: netsim.EvTxStart, Frame: netsim.FrameCts, Node: 0, Peer: 1},
+		{TimeUs: 40, Kind: netsim.EvTxEnd, Frame: netsim.FrameCts, Node: 0, Peer: 1},
+		{TimeUs: 50, Kind: netsim.EvTxStart, Frame: netsim.FrameData, Node: 1, Peer: 0},
+		{TimeUs: 100, Kind: netsim.EvTxEnd, Frame: netsim.FrameData, Node: 1, Peer: 0},
+	}
+	out := Timeline(events, 100, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline has %d lines, want header + 2 node rows:\n%s", len(lines), out)
+	}
+	// node 0 sent only the CTS; node 1 an RTS then data.
+	if !strings.Contains(lines[1], "C") || strings.Contains(lines[1], "D") {
+		t.Fatalf("node 0 row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "R") || !strings.Contains(lines[2], "D") {
+		t.Fatalf("node 1 row wrong: %q", lines[2])
+	}
+	if Timeline(nil, 100, 10) != "" {
+		t.Fatal("empty capture should render nothing")
+	}
+}

@@ -267,6 +267,8 @@ func (f *Flow) relayed(p *packet, ap *Node) {
 func (f *Flow) delivered(p *packet, nowUs float64, tx *Node) {
 	f.deliveredN++
 	f.bytesDelivered += p.bytes
+	f.net.acBytesDelivered[p.ac] += p.bytes
+	f.net.bssBytes[tx.bss.idx] += p.bytes
 	d := nowUs - p.arrivalUs
 	f.delaysUs = append(f.delaysUs, d)
 	if f.hasLast {

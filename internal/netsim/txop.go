@@ -164,6 +164,7 @@ func (nd *Node) nextExchange() {
 func (nd *Node) endTxop() {
 	nd.transmitting = false
 	nd.curPkt = nil
+	nd.emitTxopClose()
 	nd.txop = nil
 	nd.recontend()
 }
@@ -187,6 +188,16 @@ func (nd *Node) completeAmpdu(tr *transmission) {
 		for i := range ok {
 			ok[i] = net.src.Float64() >= per
 		}
+	}
+	if net.probe != nil {
+		any := false
+		for _, o := range ok {
+			any = any || o
+		}
+		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvRxOutcome,
+			Frame: FrameData, AC: tr.pkt.ac, Node: nd.id, Peer: tr.rx.id,
+			Bytes: tr.ex.totalBytes(), Mpdus: len(ok), Ok: any,
+			SinrDB: nd.med.sinrDB(tr), Bitmap: ampduBitmap(ok), Mode: tr.mode.Name})
 	}
 	nd.applyBlockAck(tr, ok)
 }
@@ -260,6 +271,12 @@ func (nd *Node) applyBlockAck(tr *transmission, ok []bool) {
 	}
 	if len(requeue) > 0 {
 		q.queue = append(requeue, q.queue...)
+	}
+	if net.probe != nil {
+		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvBlockAck,
+			AC: ac, Node: nd.id, Peer: tr.rx.id, Mpdus: len(ok),
+			Ok: delivered > 0, Bitmap: ampduBitmap(ok),
+			Value: float64(len(requeue))})
 	}
 
 	if delivered > 0 {

@@ -153,7 +153,7 @@ func TestBlockAckRetransmitsExactlyFailedSet(t *testing.T) {
 
 	// Feed the production Block-ACK path a hand-made bitmap: MPDUs 1
 	// and 3 failed, the rest were acknowledged.
-	tr := &transmission{kind: frameData, tx: st, rx: ex.rx, pkt: ex.mpdus[0], ex: ex, mode: ex.mode}
+	tr := &transmission{kind: FrameData, tx: st, rx: ex.rx, pkt: ex.mpdus[0], ex: ex, mode: ex.mode}
 	failed := map[int]bool{1: true, 3: true}
 	mask := make([]bool, nPkts)
 	for i := range mask {

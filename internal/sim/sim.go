@@ -61,8 +61,39 @@ func (r EventRef) Cancel() {
 	if !r.Scheduled() {
 		return
 	}
-	heap.Remove(&r.ev.eng.queue, r.ev.index)
-	r.ev.eng.release(r.ev)
+	eng := r.ev.eng
+	eng.stats.Cancelled++
+	heap.Remove(&eng.queue, r.ev.index)
+	eng.release(r.ev)
+}
+
+// Stats is a snapshot of the engine's lifetime introspection counters:
+// how much work the event loop has done and how well the record pool is
+// serving it. The counters are observational only — reading them never
+// perturbs scheduling — and cost a handful of integer increments per
+// event, so they are always on.
+type Stats struct {
+	Scheduled uint64 // events accepted by Schedule/At
+	Fired     uint64 // events whose callback ran
+	Cancelled uint64 // events removed by a live Cancel
+	// HeapHighWater is the largest number of events that were ever
+	// simultaneously queued — the working-set figure that sizes the
+	// heap's backing array.
+	HeapHighWater int
+	// PoolHits counts Schedule/At calls served by recycling a record off
+	// the free list; PoolMisses counts the ones that had to allocate. In
+	// steady state misses stop growing: the pool has reached the
+	// workload's live set.
+	PoolHits, PoolMisses uint64
+}
+
+// PoolHitRate is the fraction of schedules served without allocating,
+// in [0,1]. 0 for an unused engine.
+func (s Stats) PoolHitRate() float64 {
+	if total := s.PoolHits + s.PoolMisses; total > 0 {
+		return float64(s.PoolHits) / float64(total)
+	}
+	return 0
 }
 
 // Engine is the simulation clock and event queue. The zero value is
@@ -72,7 +103,11 @@ type Engine struct {
 	queue eventHeap
 	seq   int64
 	free  []*event
+	stats Stats
 }
+
+// Stats returns a snapshot of the engine's introspection counters.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() float64 { return e.now }
@@ -95,6 +130,10 @@ func (e *Engine) At(t float64, fn func()) EventRef {
 	ev := e.alloc()
 	ev.time, ev.seq, ev.fn = t, e.seq, fn
 	heap.Push(&e.queue, ev)
+	e.stats.Scheduled++
+	if n := len(e.queue); n > e.stats.HeapHighWater {
+		e.stats.HeapHighWater = n
+	}
 	return EventRef{ev: ev, gen: ev.gen}
 }
 
@@ -104,8 +143,10 @@ func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free = e.free[:n-1]
+		e.stats.PoolHits++
 		return ev
 	}
+	e.stats.PoolMisses++
 	return &event{eng: e}
 }
 
@@ -125,6 +166,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.time
+	e.stats.Fired++
 	fn := ev.fn
 	// Release before running: refs to this event go stale now, and the
 	// callback's own scheduling may immediately reuse the record.
