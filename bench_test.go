@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
@@ -123,6 +124,46 @@ func BenchmarkE27LargeFloor(b *testing.B) {
 				}
 				if mode.traced && tracer.Total() == 0 {
 					b.Fatal("tracer saw no events")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE28ShardedFloor is the sharded-PDES core-scaling curve: a
+// 1024-BSS floor (3 stations per BSS — 4096 nodes, one saturated
+// sender per cell) on an 8-channel reuse plan, so the planner finds 8
+// interaction groups and honors shard requests up to 8. Each variant
+// runs the identical topology at a different Config.Shards; shards=1
+// is the single-engine baseline the 2% CI gate holds (sharding must
+// cost nothing when off), and shards=2/4/8 trace the speedup curve.
+// Setup (the O(n²) gain matrix, via Prepare) is excluded so ns/op
+// measures the event loops plus the epoch-barrier overhead.
+//
+// The curve only bends on multi-core machines: shard workers default
+// to GOMAXPROCS, so on a single-core runner every variant measures the
+// same serial work plus barrier cost (~flat), while with GOMAXPROCS >=
+// 4 the shards=4 variant shows the parallel speedup.
+func BenchmarkE28ShardedFloor(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := netsim.DefaultConfig()
+			cfg.CSThresholdDBm = -62 // OBSS-PD-style spatial reuse, as in E27
+			cfg.Shards = shards
+			build := netsim.LargeFloor(cfg, 1024, 3, 32, 1, 6, 11, 36, 40, 44, 48, 52)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				n := build(int64(i + 1))
+				n.Prepare()
+				b.StartTimer()
+				r := n.Run(2e5)
+				if r.Delivered == 0 {
+					b.Fatal("floor delivered nothing")
+				}
+				if r.Shards != shards {
+					b.Fatalf("planned %d shards, want %d (%+v)", r.Shards, shards, r.Plan)
 				}
 			}
 		})

@@ -123,13 +123,27 @@ func compare(current, baseline []Bench, warnPct float64) (warnings []string, mat
 
 // gate applies the hard limits, returning one "::error::" line per
 // violation. nsPct gates ns/op on benchmarks whose base name contains
-// match (empty matches none); allocsPct gates allocs/op on every
-// benchmark the baseline also measured allocations for. Zero pct
-// disables the respective gate.
+// any of the comma-separated match substrings (empty matches none);
+// allocsPct gates allocs/op on every benchmark the baseline also
+// measured allocations for. Zero pct disables the respective gate.
 func gate(current, baseline []Bench, match string, nsPct, allocsPct float64) []string {
 	base := make(map[string]Bench, len(baseline))
 	for _, b := range baseline {
 		base[baseName(b.Name)] = b
+	}
+	var matches []string
+	for _, m := range strings.Split(match, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			matches = append(matches, m)
+		}
+	}
+	matchesName := func(name string) bool {
+		for _, m := range matches {
+			if strings.Contains(name, m) {
+				return true
+			}
+		}
+		return false
 	}
 	var errs []string
 	for _, c := range current {
@@ -138,7 +152,7 @@ func gate(current, baseline []Bench, match string, nsPct, allocsPct float64) []s
 		if !ok {
 			continue
 		}
-		if nsPct > 0 && match != "" && strings.Contains(name, match) && b.NsPerOp > 0 {
+		if nsPct > 0 && matchesName(name) && b.NsPerOp > 0 {
 			if pct := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp; pct > nsPct {
 				errs = append(errs,
 					fmt.Sprintf("::error::%s ns/op regressed %.1f%% (limit %.1f%%): %.0f vs baseline %.0f",
@@ -162,7 +176,7 @@ func main() {
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash to stamp into the artifact")
 	baseline := flag.String("baseline", "", "baseline artifact to compare against (warn on ns/op regressions)")
 	warnPct := flag.Float64("warn-pct", 30, "regression percentage beyond which -baseline warns")
-	failMatch := flag.String("fail-match", "", "substring of benchmark names the -fail-pct ns/op gate applies to")
+	failMatch := flag.String("fail-match", "", "comma-separated substrings of benchmark names the -fail-pct ns/op gate applies to")
 	failPct := flag.Float64("fail-pct", 0, "ns/op regression percentage beyond which -fail-match benchmarks fail the run (0 disables)")
 	failAllocsPct := flag.Float64("fail-allocs-pct", 0, "allocs/op regression percentage beyond which any benchmark fails the run (0 disables)")
 	flag.Parse()

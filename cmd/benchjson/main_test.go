@@ -111,3 +111,32 @@ func TestGate(t *testing.T) {
 		t.Fatalf("disabled gates still failed: %v", errs)
 	}
 }
+
+// TestGateMatchList: -fail-match takes a comma-separated list, and any
+// entry arms the ns/op gate for benchmarks containing it.
+func TestGateMatchList(t *testing.T) {
+	base := []Bench{
+		{Name: "BenchmarkE27LargeFloor/indexed-8", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkE28ShardedFloor/shards=1-8", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkE28ShardedFloor/shards=4-8", NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	hot := "BenchmarkE27LargeFloor/indexed, BenchmarkE28ShardedFloor/shards=1"
+	cur := []Bench{
+		{Name: "BenchmarkE27LargeFloor/indexed-8", NsPerOp: 1100, AllocsPerOp: 100},
+		{Name: "BenchmarkE28ShardedFloor/shards=1-8", NsPerOp: 1100, AllocsPerOp: 100},
+		{Name: "BenchmarkE28ShardedFloor/shards=4-8", NsPerOp: 1100, AllocsPerOp: 100},
+	}
+	errs := gate(cur, base, hot, 2, 0)
+	if len(errs) != 2 {
+		t.Fatalf("two matched benchmarks regressed, got %v", errs)
+	}
+	for _, e := range errs {
+		if strings.Contains(e, "shards=4") {
+			t.Fatalf("unlisted variant tripped the gate: %v", errs)
+		}
+	}
+	// An all-whitespace list matches nothing.
+	if errs := gate(cur, base, " , ", 2, 0); len(errs) != 0 {
+		t.Fatalf("blank match list armed the gate: %v", errs)
+	}
+}

@@ -18,6 +18,8 @@
 //	netsim -floor                      # 100-BSS high-density association floor (E27)
 //	netsim -floor -bss 144 -sta 40 -channels 1,6,11
 //	netsim -floor -no-spatial          # brute-force carrier-sense oracle
+//	netsim -floor -bss 1024 -sta 4 -channels 1,6,11,36 -shards 4
+//	netsim -floor -shards 4 -shard-stats  # plan + per-shard engine table
 //
 // Observability (first seed only; see README "Observability"):
 //
@@ -76,6 +78,12 @@ func main() {
 	downlink := flag.Bool("downlink", false, "source flows at the AP instead of the stations (mix: per-AC queues at the AP; roam: the queue follows the walker between APs)")
 	csDBm := flag.Float64("cs", -82, "carrier-sense (energy-detect) threshold in dBm (floor preset defaults to -62 unless set)")
 	noSpatial := flag.Bool("no-spatial", false, "disable the spatial carrier-sense index and use the brute-force all-nodes scan (the equivalence-test oracle)")
+	shards := flag.Int("shards", 1, "partition the floor into up to N lookahead-synchronized engine shards (0/1 = single engine; clamps to the interaction-group count, falls back to 1 with a reported reason when the floor is coupled)")
+	// Per-shard stats get their own flag rather than piggybacking on
+	// -cols: -cols already means AP grid columns for the floor scenario,
+	// and overloading it to also mean "show per-shard columns" would make
+	// "-cols 8" ambiguous.
+	shardStats := flag.Bool("shard-stats", false, "print a per-shard engine-statistics table and the shard plan (useful with -shards)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	compare := flag.Bool("compare", false, "time the seed sweep serially and with the worker pool")
 	traceFile := flag.String("trace", "", "record the first seed's event trace to FILE (JSONL, or the compact binary form when FILE ends in .bin)")
@@ -115,6 +123,9 @@ func main() {
 	}
 	if *rts < 0 {
 		fail("-rts must not be negative, got %d (0 disables RTS/CTS)", *rts)
+	}
+	if *shards < 0 {
+		fail("-shards must not be negative, got %d (0 or 1 = single engine)", *shards)
 	}
 	if *ampdu < 0 {
 		fail("-ampdu must not be negative, got %d (0 disables aggregation)", *ampdu)
@@ -169,6 +180,7 @@ func main() {
 	cfg.RtsThresholdBytes = *rts
 	cfg.DisableSpatialIndex = *noSpatial
 	cfg.SampleIntervalUs = *sampleUs
+	cfg.Shards = *shards
 	if *scenario == "floor" && !set["cs"] {
 		*csDBm = -62 // OBSS-PD-style spatial reuse, as in E27
 	}
@@ -358,6 +370,27 @@ func main() {
 	}
 	if s := results[0].Samples; s != nil {
 		tables = append(tables, sampleTable(s, jobs[0].Seed))
+	}
+	if plan := results[0].Plan; *shards > 1 || *shardStats {
+		if plan.Reason != "" {
+			fmt.Fprintf(os.Stderr, "shards: single engine (%s)\n", plan.Reason)
+		} else if plan.Shards > 1 {
+			fmt.Fprintf(os.Stderr, "shards: %d of %d requested, %d interaction groups, lookahead %.0f us\n",
+				plan.Shards, plan.Requested, plan.Groups, plan.LookaheadUs)
+		}
+	}
+	if *shardStats {
+		plan := results[0].Plan
+		st := report.Table{
+			ID:     "shards",
+			Title:  fmt.Sprintf("per-shard engine statistics, seed %d", jobs[0].Seed),
+			Header: []string{"shard", "nodes", "scheduled", "fired", "cancelled", "heap hw", "pool hit"},
+		}
+		for i, s := range results[0].ShardStats {
+			st.AddRow(i, plan.NodesPerShard[i], s.Scheduled, s.Fired, s.Cancelled,
+				s.HeapHighWater, fmt.Sprintf("%.4f", s.PoolHitRate()))
+		}
+		tables = append(tables, st)
 	}
 	for _, tb := range tables {
 		if *csv {

@@ -37,6 +37,12 @@ import (
 // node that senses them raises its NAV for that long — so a station
 // hidden from the data sender but in range of the receiver defers off
 // the receiver's CTS, which is the whole point of the exchange.
+//
+// Everything here runs on the node's shard: events schedule on
+// nd.sh.eng, randomness draws from nd.sh.src, counters charge nd.sh —
+// so under sharded execution (shard.go) concurrent partitions never
+// touch each other's state. With one shard these are exactly the old
+// Network-global engine, source, and counters.
 
 // slotEps absorbs float accumulation when dividing elapsed time into
 // whole slots.
@@ -69,20 +75,20 @@ func (q *acQueue) params() *AcParams { return &q.node.net.edca[q.ac] }
 // counter.
 func (nd *Node) enqueue(p *packet) bool {
 	q := &nd.acq[p.ac]
-	net := nd.net
+	sh := nd.sh
 	if len(q.queue) >= q.params().QueueLimit {
-		net.queueDrop[p.ac]++
+		sh.queueDrop[p.ac]++
 		p.flow.queueDrops++
-		if net.probe != nil {
-			net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvQueueDrop,
+		if sh.probe != nil {
+			sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvQueueDrop,
 				AC: p.ac, Node: nd.id, Peer: -1, Bytes: p.bytes})
 		}
 		return false
 	}
 	nd.joinCS()
 	q.queue = append(q.queue, p)
-	if net.probe != nil {
-		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvEnqueue,
+	if sh.probe != nil {
+		sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvEnqueue,
 			AC: p.ac, Node: nd.id, Peer: -1, Bytes: p.bytes,
 			Value: float64(len(q.queue))})
 	}
@@ -96,7 +102,7 @@ func (nd *Node) enqueue(p *packet) bool {
 // window and arms the countdown (deferred while the medium is busy or
 // reserved).
 func (q *acQueue) startContention() {
-	q.backoffSlots = q.node.net.src.Intn(q.cw + 1)
+	q.backoffSlots = q.node.sh.src.Intn(q.cw + 1)
 	q.contending = true
 	q.tryResume()
 }
@@ -126,18 +132,19 @@ func (q *acQueue) tryResume() {
 	if !q.contending || nd.transmitting || nd.busyCount > 0 || q.boEvent.Scheduled() {
 		return
 	}
-	if nd.navUntilUs > nd.net.eng.Now()+slotEps {
+	sh := nd.sh
+	if nd.navUntilUs > sh.eng.Now()+slotEps {
 		// Virtual carrier sense: the navEvent armed by setNav re-enters
 		// here when the reservation lapses.
 		return
 	}
 	p := q.params()
-	q.boStartUs = nd.net.eng.Now() + p.AifsUs
+	q.boStartUs = sh.eng.Now() + p.AifsUs
 	delay := p.AifsUs + float64(q.backoffSlots)*nd.net.cfg.Dcf.SlotUs
-	q.fireAtUs = nd.net.eng.Now() + delay
-	q.boEvent = nd.net.eng.Schedule(delay, q.fire)
-	if net := nd.net; net.probe != nil {
-		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvBackoffResume,
+	q.fireAtUs = sh.eng.Now() + delay
+	q.boEvent = sh.eng.Schedule(delay, q.fire)
+	if sh.probe != nil {
+		sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvBackoffResume,
 			AC: q.ac, Node: nd.id, Peer: -1, Value: float64(q.backoffSlots)})
 	}
 }
@@ -157,7 +164,7 @@ func (nd *Node) tryResume() {
 func (q *acQueue) fire() {
 	q.boEvent = sim.EventRef{}
 	nd := q.node
-	now := nd.net.eng.Now()
+	now := nd.sh.eng.Now()
 	winner := q
 	for ac := range nd.acq {
 		s := &nd.acq[ac]
@@ -183,16 +190,16 @@ func (q *acQueue) fire() {
 // pass dropHead false: their abandonment is per packet, decided by the
 // Block-ACK bitmap.
 func (q *acQueue) exchangeFailed(dropHead bool) {
-	net := q.node.net
+	nd := q.node
 	q.retries++
-	if q.retries > net.cfg.Dcf.RetryLimit {
+	if q.retries > nd.net.cfg.Dcf.RetryLimit {
 		q.cw = q.params().CWMin
 		q.retries = 0
 		if dropHead && len(q.queue) > 0 {
-			net.retryDrops[q.ac]++
+			nd.sh.retryDrops[q.ac]++
 			p := q.queue[0]
 			q.queue = q.queue[1:]
-			p.flow.dropped(q.node)
+			p.flow.dropped(nd)
 		}
 	} else {
 		q.cw = min(2*q.cw+1, q.params().CWMax)
@@ -205,10 +212,10 @@ func (q *acQueue) exchangeFailed(dropHead bool) {
 // redraw the backoff. The queue stays contending; its countdown re-arms
 // when the winner's exchange releases the medium.
 func (q *acQueue) virtualCollision() {
-	net := q.node.net
-	net.virtualColl++
-	if net.probe != nil {
-		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvVirtualCollision,
+	sh := q.node.sh
+	sh.virtualColl++
+	if sh.probe != nil {
+		sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvVirtualCollision,
 			AC: q.ac, Node: q.node.id, Peer: -1})
 	}
 	q.exchangeFailed(true)
@@ -216,7 +223,7 @@ func (q *acQueue) virtualCollision() {
 		q.contending = false
 		return
 	}
-	q.backoffSlots = net.src.Intn(q.cw + 1)
+	q.backoffSlots = sh.src.Intn(q.cw + 1)
 }
 
 // pause reacts to the medium going busy: every armed countdown banks
@@ -274,11 +281,11 @@ func (nd *Node) freezeBackoff() {
 // Pure observation: the probe-on and probe-off paths run the same MAC
 // state transitions.
 func (q *acQueue) emitFreeze() {
-	net := q.node.net
-	if net.probe == nil {
+	sh := q.node.sh
+	if sh.probe == nil {
 		return
 	}
-	net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvBackoffFreeze,
+	sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvBackoffFreeze,
 		AC: q.ac, Node: q.node.id, Peer: -1, Value: float64(q.backoffSlots)})
 }
 
@@ -291,15 +298,15 @@ func (q *acQueue) emitFreeze() {
 // reports whether the NAV was raised to exactly untilUs, so the caller
 // can record adopters for a possible reset.
 func (nd *Node) setNav(untilUs float64) bool {
-	now := nd.net.eng.Now()
+	now := nd.sh.eng.Now()
 	if untilUs <= nd.navUntilUs || untilUs <= now {
 		return false
 	}
 	nd.freezeBackoff()
 	nd.navUntilUs = untilUs
 	nd.armNavEvent(untilUs)
-	if net := nd.net; net.probe != nil {
-		net.probe.OnEvent(Event{TimeUs: now, Kind: EvNavSet,
+	if sh := nd.sh; sh.probe != nil {
+		sh.probe.OnEvent(Event{TimeUs: now, Kind: EvNavSet,
 			Node: nd.id, Peer: -1, Value: untilUs})
 	}
 	return true
@@ -313,13 +320,14 @@ func (nd *Node) shrinkNav(untilUs float64) {
 	if untilUs >= nd.navUntilUs {
 		return
 	}
-	if untilUs < nd.net.eng.Now() {
-		untilUs = nd.net.eng.Now()
+	sh := nd.sh
+	if untilUs < sh.eng.Now() {
+		untilUs = sh.eng.Now()
 	}
 	nd.navUntilUs = untilUs
 	nd.armNavEvent(untilUs)
-	if net := nd.net; net.probe != nil {
-		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvNavSet,
+	if sh.probe != nil {
+		sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvNavSet,
 			Node: nd.id, Peer: -1, Value: untilUs})
 	}
 	nd.tryResume()
@@ -327,10 +335,10 @@ func (nd *Node) shrinkNav(untilUs float64) {
 
 func (nd *Node) armNavEvent(untilUs float64) {
 	nd.navEvent.Cancel()
-	nd.navEvent = nd.net.eng.At(untilUs, func() {
+	nd.navEvent = nd.sh.eng.At(untilUs, func() {
 		nd.navEvent = sim.EventRef{}
-		if net := nd.net; net.probe != nil {
-			net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvNavExpire,
+		if sh := nd.sh; sh.probe != nil {
+			sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvNavExpire,
 				Node: nd.id, Peer: -1})
 		}
 		nd.tryResume()
@@ -341,7 +349,7 @@ func (nd *Node) armNavEvent(untilUs float64) {
 // countdown started. It reports whether the countdown phase (post-AIFS)
 // had begun; during the AIFS nothing has elapsed.
 func (q *acQueue) bankElapsedSlots() bool {
-	elapsed := q.node.net.eng.Now() - q.boStartUs
+	elapsed := q.node.sh.eng.Now() - q.boStartUs
 	if elapsed < -slotEps {
 		return false
 	}
@@ -358,7 +366,7 @@ func (q *acQueue) bankElapsedSlots() bool {
 // median-SNR table lookup.
 func (nd *Node) dataMode(rx *Node) linkmodel.Mode {
 	if nd.net.cfg.Arf == nil {
-		return nd.net.linkMode(nd, rx)
+		return nd.sh.linkMode(nd, rx)
 	}
 	return nd.net.cfg.Modes[nd.arfFor(rx).ModeIndex()]
 }
@@ -372,7 +380,7 @@ func (nd *Node) arfFor(rx *Node) *mac.ArfController {
 	}
 	c := nd.arf[rx.id]
 	if c == nil {
-		start := nd.net.modeIndex(nd.net.linkMode(nd, rx))
+		start := nd.net.modeIndex(nd.sh.linkMode(nd, rx))
 		c = mac.NewArfController(*nd.net.cfg.Arf, len(nd.net.cfg.Modes), start)
 		nd.arf[rx.id] = c
 	}
@@ -388,10 +396,11 @@ func (nd *Node) transmit(q *acQueue) {
 	q.contending = false
 	nd.freezeBackoff()
 	nd.transmitting = true
-	nd.txop = &Txop{q: q, StartUs: nd.net.eng.Now(), LimitUs: q.params().TxopLimitUs}
-	nd.net.txops++
-	if net := nd.net; net.probe != nil {
-		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvTxopOpen,
+	sh := nd.sh
+	nd.txop = &Txop{q: q, StartUs: sh.eng.Now(), LimitUs: q.params().TxopLimitUs}
+	sh.txops++
+	if sh.probe != nil {
+		sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvTxopOpen,
 			AC: q.ac, Node: nd.id, Peer: -1, Value: q.params().TxopLimitUs})
 	}
 	nd.launch(nd.buildExchange(nd.txop))
@@ -401,12 +410,12 @@ func (nd *Node) transmit(q *acQueue) {
 // with the hold time as Value. Call before clearing nd.txop; a nil txop
 // (the CTS responder's stand-down path) emits nothing.
 func (nd *Node) emitTxopClose() {
-	net := nd.net
-	if net.probe == nil || nd.txop == nil {
+	sh := nd.sh
+	if sh.probe == nil || nd.txop == nil {
 		return
 	}
-	now := net.eng.Now()
-	net.probe.OnEvent(Event{TimeUs: now, Kind: EvTxopClose,
+	now := sh.eng.Now()
+	sh.probe.OnEvent(Event{TimeUs: now, Kind: EvTxopClose,
 		AC: nd.txop.q.ac, Node: nd.id, Peer: -1, Value: now - nd.txop.StartUs})
 }
 
@@ -416,14 +425,15 @@ func (nd *Node) emitTxopClose() {
 // rest of the exchange at the data mode chosen for this attempt.
 func (nd *Node) sendRts(ex *exchange) {
 	net := nd.net
+	sh := nd.sh
 	d := net.cfg.Dcf
-	net.rtsSent++
-	nav := net.eng.Now() + net.rtsAirUs() + d.SIFSUs + net.ctsAirUs() +
+	sh.rtsSent++
+	nav := sh.eng.Now() + net.rtsAirUs() + d.SIFSUs + net.ctsAirUs() +
 		d.SIFSUs + ex.dataAirUs()
 	tr := &transmission{kind: FrameRts, tx: nd, rx: ex.rx, pkt: ex.mpdus[0], ex: ex,
-		mode: net.robustMode(), navUntilUs: nav, startUs: net.eng.Now()}
+		mode: net.robustMode(), navUntilUs: nav, startUs: sh.eng.Now()}
 	nd.med.start(tr)
-	net.eng.Schedule(net.rtsAirUs(), func() { nd.completeRts(tr) })
+	sh.eng.Schedule(net.rtsAirUs(), func() { nd.completeRts(tr) })
 }
 
 // completeRts judges the RTS. Success draws the receiver's CTS a SIFS
@@ -431,21 +441,21 @@ func (nd *Node) sendRts(ex *exchange) {
 // retry path without having burned the data burst's airtime.
 func (nd *Node) completeRts(tr *transmission) {
 	nd.med.finish(tr)
-	net := nd.net
+	sh := nd.sh
 	ok := nd.med.succeeds(tr)
-	if net.probe != nil {
-		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvRxOutcome,
+	if sh.probe != nil {
+		sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvRxOutcome,
 			Frame: FrameRts, AC: tr.pkt.ac, Node: nd.id, Peer: tr.rx.id,
 			Mpdus: 1, Ok: ok, SinrDB: nd.med.sinrDB(tr), Mode: tr.mode.Name})
 	}
 	if !ok {
-		net.rtsFailed++
+		sh.rtsFailed++
 		nd.releaseNav(tr)
 		nd.fail(tr)
 		return
 	}
 	rx := tr.rx
-	net.eng.Schedule(net.cfg.Dcf.SIFSUs, func() { rx.sendCts(tr) })
+	sh.eng.Schedule(nd.net.cfg.Dcf.SIFSUs, func() { rx.sendCts(tr) })
 }
 
 // releaseNav invokes 802.11's NAV-reset rule for a dead RTS
@@ -468,13 +478,15 @@ func (nd *Node) releaseNav(rts *transmission) {
 // interfering at other receivers — but is not itself judged: the RTS
 // just proved the link. Crucially its NAV reaches stations hidden from
 // the data sender but in range of the receiver, which is what rescues
-// the hidden-terminal topology.
+// the hidden-terminal topology. Sender and responder share a medium,
+// hence a shard, so the SIFS-later continuations stay on one engine.
 func (nd *Node) sendCts(rts *transmission) {
 	net := nd.net
+	sh := nd.sh
 	d := net.cfg.Dcf
 	peer := rts.tx
 	if nd.transmitting || nd.med != peer.med ||
-		nd.navUntilUs > net.eng.Now()+slotEps {
+		nd.navUntilUs > sh.eng.Now()+slotEps {
 		// No CTS comes back: the receiver launched its own frame in the
 		// SIFS gap (it decoded the RTS without being able to
 		// carrier-sense it, so its countdown never paused), is mid-reply
@@ -486,7 +498,7 @@ func (nd *Node) sendCts(rts *transmission) {
 		// receiver, not a channel error, so mark it doomed to keep it
 		// out of the noise-loss column.
 		rts.doomed = true
-		net.rtsFailed++
+		peer.sh.rtsFailed++
 		peer.releaseNav(rts)
 		peer.fail(rts)
 		return
@@ -502,11 +514,11 @@ func (nd *Node) sendCts(rts *transmission) {
 	nd.freezeBackoff()
 	nd.transmitting = true
 	nd.curPkt = nil
-	nav := net.eng.Now() + net.ctsAirUs() + d.SIFSUs + rts.ex.dataAirUs()
+	nav := sh.eng.Now() + net.ctsAirUs() + d.SIFSUs + rts.ex.dataAirUs()
 	tr := &transmission{kind: FrameCts, tx: nd, rx: peer, pkt: rts.pkt,
-		mode: net.robustMode(), navUntilUs: nav, startUs: net.eng.Now()}
+		mode: net.robustMode(), navUntilUs: nav, startUs: sh.eng.Now()}
 	nd.med.start(tr)
-	net.eng.Schedule(net.ctsAirUs(), func() {
+	sh.eng.Schedule(net.ctsAirUs(), func() {
 		nd.med.finish(tr)
 		nd.transmitting = false
 		// Honor the reservation this CTS just granted: the responder's
@@ -520,7 +532,7 @@ func (nd *Node) sendCts(rts *transmission) {
 		// node transmitting and skipped startContention; pick it up now.
 		// The countdowns sendCts froze resume via tryResume at NAV end.
 		nd.recontend()
-		net.eng.Schedule(d.SIFSUs, func() { peer.sendData(rts.ex) })
+		sh.eng.Schedule(d.SIFSUs, func() { peer.sendData(rts.ex) })
 	})
 }
 
@@ -528,18 +540,18 @@ func (nd *Node) sendCts(rts *transmission) {
 // awaiting an ACK, or an A-MPDU burst awaiting a Block-ACK — and
 // schedules the outcome.
 func (nd *Node) sendData(ex *exchange) {
-	net := nd.net
-	net.modeAttempts[ex.mode.Name]++
-	if net.cfg.Aggregation != nil {
-		net.ampduHist[len(ex.mpdus)]++
+	sh := nd.sh
+	sh.modeAttempts[ex.mode.Name]++
+	if nd.net.cfg.Aggregation != nil {
+		sh.ampduHist[len(ex.mpdus)]++
 	}
 	for _, p := range ex.mpdus {
 		p.flow.attemptedMpdu(ex.mode.RateMbps)
 	}
 	tr := &transmission{kind: FrameData, tx: nd, rx: ex.rx, pkt: ex.mpdus[0], ex: ex,
-		mode: ex.mode, startUs: net.eng.Now()}
+		mode: ex.mode, startUs: sh.eng.Now()}
 	nd.med.start(tr)
-	net.eng.Schedule(ex.dataAirUs(), func() { nd.complete(tr) })
+	sh.eng.Schedule(ex.dataAirUs(), func() { nd.complete(tr) })
 }
 
 // complete ends the exchange's data portion: judge it, update the ARF
@@ -550,14 +562,15 @@ func (nd *Node) sendData(ex *exchange) {
 func (nd *Node) complete(tr *transmission) {
 	nd.med.finish(tr)
 	net := nd.net
+	sh := nd.sh
 	if tr.ex.ampdu {
 		nd.completeAmpdu(tr)
 		return
 	}
-	net.acAirtimeUs[tr.pkt.ac] += tr.ex.airUs()
+	sh.acAirtimeUs[tr.pkt.ac] += tr.ex.airUs()
 	ok := nd.med.succeeds(tr)
-	if net.probe != nil {
-		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvRxOutcome,
+	if sh.probe != nil {
+		sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvRxOutcome,
 			Frame: FrameData, AC: tr.pkt.ac, Node: nd.id, Peer: tr.rx.id,
 			Bytes: tr.pkt.bytes, Mpdus: 1, Ok: ok,
 			SinrDB: nd.med.sinrDB(tr), Mode: tr.mode.Name})
@@ -571,7 +584,7 @@ func (nd *Node) complete(tr *transmission) {
 	}
 	q := &nd.acq[tr.pkt.ac]
 	deliver := func() {
-		net.delivered[tr.pkt.ac]++
+		sh.delivered[tr.pkt.ac]++
 		q.queue = q.queue[1:]
 		q.cw = q.params().CWMin
 		q.retries = 0
@@ -584,9 +597,9 @@ func (nd *Node) complete(tr *transmission) {
 			// distribution system forwards between APs for free), so the
 			// downlink leg always rides the medium the destination is tuned
 			// to and roam handoff always finds relay packets at the right AP.
-			f.relayed(tr.pkt, f.To.bss.AP)
+			f.relayed(tr.pkt, nd, f.To.bss.AP)
 		} else {
-			f.delivered(tr.pkt, net.eng.Now(), nd)
+			f.delivered(tr.pkt, sh.eng.Now(), nd)
 		}
 	}
 	if tr.ex.t.LimitUs > 0 {
@@ -600,7 +613,7 @@ func (nd *Node) complete(tr *transmission) {
 		nd.curPkt = nil
 		deliver()
 		if len(q.queue) > 0 {
-			net.eng.Schedule(net.cfg.Dcf.SIFSUs, nd.nextExchange)
+			sh.eng.Schedule(net.cfg.Dcf.SIFSUs, nd.nextExchange)
 			return
 		}
 		nd.endTxop()
@@ -624,6 +637,7 @@ func (nd *Node) complete(tr *transmission) {
 // sender.
 func (nd *Node) fail(tr *transmission) {
 	net := nd.net
+	sh := nd.sh
 	nd.transmitting = false
 	nd.curPkt = nil
 	nd.emitTxopClose()
@@ -632,12 +646,12 @@ func (nd *Node) fail(tr *transmission) {
 	if tr.kind == FrameRts {
 		// Only the RTS aired; data exchanges account their full span in
 		// complete/completeAmpdu.
-		net.acAirtimeUs[ac] += net.rtsAirUs()
+		sh.acAirtimeUs[ac] += net.rtsAirUs()
 	}
 	if tr.interfered(net.noiseFloorMw) {
-		net.collisions[ac]++
+		sh.collisions[ac]++
 	} else {
-		net.noiseLoss[ac]++
+		sh.noiseLoss[ac]++
 	}
 	q := &nd.acq[ac]
 	if ex := tr.ex; ex != nil && ex.ampdu {
@@ -656,7 +670,7 @@ func (nd *Node) fail(tr *transmission) {
 		q.queue = q.queue[1:]
 		q.cw = q.params().CWMin
 		q.retries = 0
-		to.bss.AP.enqueue(tr.pkt)
+		nd.forward(to.bss.AP, tr.pkt)
 		nd.recontend()
 		return
 	}
@@ -675,7 +689,7 @@ func (nd *Node) failAmpduRts(q *acQueue, ex *exchange) {
 	for _, p := range ex.mpdus {
 		if to := p.flow.To; nd.ap && to != nil && !to.ap && to.bss.AP != nd {
 			p.retries = 0
-			to.bss.AP.enqueue(p)
+			nd.forward(to.bss.AP, p)
 			continue
 		}
 		keep = append(keep, p)

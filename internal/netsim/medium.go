@@ -12,7 +12,11 @@ import (
 // co-channel deployments contend and overlap while channel-separated
 // ones do not.
 type medium struct {
-	net     *Network
+	net *Network
+	// sh is the shard whose engine carries every event this medium's
+	// frames schedule. Shard planning (shard.go) guarantees a medium's
+	// members all live on one shard, so a medium never needs locking.
+	sh      *shard
 	channel int
 	nodes   []*Node
 	active  []*transmission
@@ -248,14 +252,14 @@ func (m *medium) putBuf(b []*Node) { m.bufs = append(m.bufs, b) }
 // collision mechanism, not a bug.
 func (m *medium) start(tr *transmission) {
 	if len(m.active) == 0 {
-		m.busyStartUs = m.net.eng.Now()
+		m.busyStartUs = m.sh.eng.Now()
 	} else if len(m.active) == 1 {
-		m.overlapStartUs = m.net.eng.Now()
+		m.overlapStartUs = m.sh.eng.Now()
 	}
 	prev := m.active
 	m.active = append(m.active, tr)
-	if m.net.probe != nil {
-		m.net.probe.OnEvent(m.net.txEvent(EvTxStart, tr))
+	if m.sh.probe != nil {
+		m.sh.probe.OnEvent(m.sh.txEvent(EvTxStart, tr))
 	}
 
 	// Snapshot the crossed interference only when gains can actually
@@ -351,12 +355,12 @@ func (m *medium) finish(tr *transmission) {
 	}
 	tr.done = true
 	if len(m.active) == 0 {
-		m.busyUs += m.net.eng.Now() - m.busyStartUs
+		m.busyUs += m.sh.eng.Now() - m.busyStartUs
 	} else if len(m.active) == 1 {
-		m.overlapUs += m.net.eng.Now() - m.overlapStartUs
+		m.overlapUs += m.sh.eng.Now() - m.overlapStartUs
 	}
-	if m.net.probe != nil {
-		m.net.probe.OnEvent(m.net.txEvent(EvTxEnd, tr))
+	if m.sh.probe != nil {
+		m.sh.probe.OnEvent(m.sh.txEvent(EvTxEnd, tr))
 	}
 	if m.net.cfg.RoamIntervalUs > 0 {
 		// Gains may have shifted mid-frame: unwind the snapshot.
@@ -398,7 +402,7 @@ func (m *medium) succeeds(tr *transmission) bool {
 		return false
 	}
 	per := tr.mode.PERAwgn(m.sinrDB(tr))
-	return m.net.src.Float64() >= per
+	return m.sh.src.Float64() >= per
 }
 
 // sinrDB is the worst-overlap SINR the frame was received at — the

@@ -144,6 +144,20 @@ type Config struct {
 	// this exists purely as the test oracle the equivalence suite and
 	// the E27 scale benchmark compare against.
 	DisableSpatialIndex bool
+
+	// Shards requests conservative-PDES execution on up to this many
+	// parallel engines (shard.go): Prepare partitions the BSSs into
+	// causally independent interaction groups, runs whole groups per
+	// shard, and synchronizes at lookahead epochs. 0 and 1 mean the
+	// classic single engine, bit-identical to every earlier release.
+	// Requests the floor cannot honor — fewer interaction groups than
+	// shards, mobility, sampling, or a plain attached Probe — clamp or
+	// fall back to fewer shards (see Network.Plan for what happened and
+	// why). Results are bit-for-bit reproducible for a fixed value, but
+	// different values draw different RNG streams, so aggregates match
+	// only statistically across shard counts; Shards: 1 remains the
+	// oracle the equivalence suite pins against.
+	Shards int
 }
 
 // AggConfig parameterizes A-MPDU aggregation (Config.Aggregation).
@@ -215,6 +229,9 @@ func (c Config) Validate() {
 	if c.SampleIntervalUs < 0 || math.IsNaN(c.SampleIntervalUs) || math.IsInf(c.SampleIntervalUs, 0) {
 		panic(fmt.Sprintf("netsim: Config.SampleIntervalUs must be a non-negative finite number, got %v", c.SampleIntervalUs))
 	}
+	if c.Shards < 0 {
+		panic(fmt.Sprintf("netsim: Config.Shards must not be negative, got %d", c.Shards))
+	}
 	if c.Edca != nil {
 		c.Edca.validate()
 	}
@@ -250,6 +267,12 @@ type Node struct {
 	ap   bool
 	bss  *BSS
 	med  *medium
+
+	// sh is the execution shard that owns this node's MAC state — its
+	// engine schedules every event the node fires, its rng.Source draws
+	// the node's randomness, and its counters take the node's
+	// accounting. Single-engine runs put every node on shard 0.
+	sh *shard
 
 	// ord is the node's membership number on its current medium (set by
 	// medium.addNode); cell is the spatial-grid cell it is filed under.
@@ -333,12 +356,23 @@ func (p *packet) dest(carrier *Node) *Node {
 // goroutine (see ScenarioRunner).
 type Network struct {
 	cfg   Config
-	eng   sim.Engine
 	src   *rng.Source
 	nodes []*Node
 	bss   []*BSS
 	flows []*Flow
+
+	// media is the union of every shard's media, in creation order —
+	// read-only aggregate views (collect, the sampler) walk it; the MAC
+	// hot paths go through the owning shard's list.
 	media []*medium
+
+	// shards are the execution partitions build creates (shard.go); a
+	// single-engine run is the one-shard degenerate case. plan records
+	// how the partition was decided; shardWorkers caps the goroutines a
+	// multi-shard Run uses (see SetShardWorkers).
+	shards       []*shard
+	plan         ShardPlan
+	shardWorkers int
 
 	// edca is the effective per-AC parameter table: Config.Edca when
 	// set, otherwise the legacy table (plain DCF in every slot) with
@@ -369,42 +403,29 @@ type Network struct {
 	csRangeM  float64
 	navRangeM float64
 
-	// modeCache memoizes per-link rate selection; link SNR only changes
-	// when a node moves, which clears it (refreshGains).
-	modeCache map[[2]int]linkmodel.Mode
-
 	// robustIdx is the rate-table index with the lowest SNR requirement;
 	// RTS/CTS control frames ride it.
 	robustIdx int
 
-	// run-level counters, per access category where the MAC knows one
-	attempts, delivered   [NumACs]int
-	collisions, noiseLoss [NumACs]int
-	retryDrops, queueDrop [NumACs]int
-	rtsSent, rtsFailed    int
-	virtualColl           int
-	roams                 int
-	modeAttempts          map[string]int // data-frame attempts per mode name
+	// The run counters (attempts, delivered, airtime, …) live on each
+	// shard — the hot paths increment without synchronization and
+	// collect sums them into the Result.
 
-	// TXOP / aggregation accounting: TXOPs won, medium time occupied by
-	// each AC's exchanges, transmitted A-MPDU sizes, and MPDUs a
-	// Block-ACK bitmap sent back for retransmission.
-	txops           int
-	acAirtimeUs     [NumACs]float64
-	ampduHist       map[int]int
-	blockAckRetries int
-
-	// probe, when attached, receives one Event per instrumented point in
-	// the MAC/medium hot paths (probe.go). Every hot emission site guards
-	// on this field directly so a probe-less run pays one nil-check.
-	probe Probe
+	// probe, when attached via AttachProbe, receives one Event per
+	// instrumented point in the MAC/medium hot paths (probe.go); the
+	// hot emission sites guard on the owning shard's copy so a
+	// probe-less run pays one nil-check. probeFactory is the sharded
+	// alternative (AttachShardProbes): one probe per shard, each seeing
+	// only its shard's stream.
+	probe        Probe
+	probeFactory func(shard int) Probe
 
 	// sampler drives the Config.SampleIntervalUs telemetry tick;
-	// acBytesDelivered / bssBytes are the cumulative delivered-byte
-	// counters its goodput columns difference per window.
-	sampler          *sampler
-	acBytesDelivered [NumACs]int
-	bssBytes         []int
+	// bssBytes is the cumulative per-BSS delivered-byte counter its
+	// goodput columns difference per window (indexed by BSS, so shards
+	// write disjoint entries).
+	sampler  *sampler
+	bssBytes []int
 }
 
 // New returns an empty network. All randomness (shadowing, backoff,
@@ -415,13 +436,8 @@ func New(cfg Config, seed int64) *Network {
 		cfg.QueueLimit = 64
 	}
 	cfg.Validate()
-	n := &Network{cfg: cfg, src: rng.New(seed), noiseFloorDBm: cfg.Budget.NoiseFloorDBm(),
-		modeCache:    make(map[[2]int]linkmodel.Mode),
-		modeAttempts: make(map[string]int)}
+	n := &Network{cfg: cfg, src: rng.New(seed), noiseFloorDBm: cfg.Budget.NoiseFloorDBm()}
 	n.noiseFloorMw = mwFromDBm(n.noiseFloorDBm)
-	if cfg.Aggregation != nil {
-		n.ampduHist = make(map[int]int)
-	}
 	n.edcaOn = cfg.Edca != nil
 	if n.edcaOn {
 		n.edca = *cfg.Edca
@@ -578,19 +594,23 @@ func (n *Network) build() {
 	}
 	n.fillGains()
 	// Index query radii depend on the shadowing draws just baked into
-	// the gain matrix, and media created below size their grids from
-	// csRangeM.
+	// the gain matrix: media size their grids from csRangeM, and the
+	// shard planner's interaction radius builds on both.
 	n.csRangeM, n.navRangeM = n.indexRanges()
-	// One medium per distinct channel, in first-appearance order so the
-	// node lists (and hence all event ordering) are deterministic.
+	n.planShards()
+	// One medium per distinct (shard, channel), in global
+	// first-appearance order — APs in BSS order, then stations — so the
+	// node lists (and hence all event ordering) are deterministic, and
+	// identical to the pre-shard simulator when one shard holds
+	// everything.
 	for _, b := range n.bss {
-		m := n.mediumFor(b.Channel)
+		m := b.AP.sh.mediumFor(b.Channel)
 		b.AP.med = m
 		m.addNode(b.AP)
 	}
 	for _, nd := range n.nodes {
 		if !nd.ap {
-			m := n.mediumFor(nd.bss.Channel)
+			m := nd.sh.mediumFor(nd.bss.Channel)
 			nd.med = m
 			m.addNode(nd)
 		}
@@ -645,7 +665,9 @@ func (n *Network) fillGains() {
 // refreshGains recomputes row and column i of the received-power matrix
 // whenever node i moves.
 func (n *Network) refreshGains(nd *Node) {
-	clear(n.modeCache)
+	for _, sh := range n.shards {
+		clear(sh.modeCache)
+	}
 	b := n.cfg.Budget
 	for j, other := range n.nodes {
 		if other == nd {
@@ -661,22 +683,6 @@ func (n *Network) refreshGains(nd *Node) {
 	}
 }
 
-func (n *Network) mediumFor(ch int) *medium {
-	for _, m := range n.media {
-		if m.channel == ch {
-			return m
-		}
-	}
-	m := &medium{net: n, channel: ch}
-	if !n.cfg.DisableSpatialIndex {
-		// Cell size = carrier-sense range: an energy-detect query visits
-		// at most the 3x3 block around the transmitter's cell.
-		m.grid = newSpatialGrid(n.csRangeM)
-	}
-	n.media = append(n.media, m)
-	return m
-}
-
 // rxPowerDBm returns the received power at node rx when tx transmits.
 func (n *Network) rxPowerDBm(tx, rx *Node) float64 { return n.rxDBm[tx.id][rx.id] }
 
@@ -688,19 +694,6 @@ func (n *Network) rxPowerMw(tx, rx *Node) float64 { return n.rxMw[tx.id][rx.id] 
 // linkSNRdB is the interference-free SNR of the tx→rx link.
 func (n *Network) linkSNRdB(tx, rx *Node) float64 {
 	return n.rxPowerDBm(tx, rx) - n.noiseFloorDBm
-}
-
-// linkMode selects the best rate-table mode for the link at its median
-// SNR (10% PER ceiling, falling back to the most robust mode). The
-// choice is memoized per link until a move invalidates the gains.
-func (n *Network) linkMode(tx, rx *Node) linkmodel.Mode {
-	key := [2]int{tx.id, rx.id}
-	if m, ok := n.modeCache[key]; ok {
-		return m
-	}
-	m, _ := linkmodel.BestMode(n.cfg.Modes, n.linkSNRdB(tx, rx), false, 0.1)
-	n.modeCache[key] = m
-	return m
 }
 
 // airtimeUs is the medium occupancy of one data+ACK exchange.
@@ -739,7 +732,9 @@ func (n *Network) Prepare() {
 		f.start()
 	}
 	if n.cfg.RoamIntervalUs > 0 {
-		n.eng.Schedule(n.cfg.RoamIntervalUs, n.roamScan)
+		// Mobility forces a single shard (planShards), so the scan's
+		// global reads and reschedules all live on shard 0's engine.
+		n.shards[0].eng.Schedule(n.cfg.RoamIntervalUs, n.roamScan)
 	}
 	if n.cfg.SampleIntervalUs > 0 {
 		n.sampler = newSampler(n)
@@ -758,7 +753,20 @@ func (n *Network) Run(durationUs float64) Result {
 	if !n.prepared {
 		n.Prepare()
 	}
-	n.eng.Run(durationUs)
+	if len(n.shards) == 1 {
+		n.shards[0].eng.Run(durationUs)
+	} else {
+		engines := make([]*sim.Engine, len(n.shards))
+		for i, sh := range n.shards {
+			engines[i] = &sh.eng
+		}
+		d := &sim.ShardedDriver{Engines: engines, LookaheadUs: n.plan.LookaheadUs,
+			Workers: n.shardWorkers, OnBarrier: n.drainMailboxes}
+		// The driver's final barrier drains whatever the last epoch
+		// posted; like any packet arriving at the run's end, it enqueues
+		// but no longer transmits.
+		d.RunUntil(durationUs)
+	}
 	return n.collect(durationUs)
 }
 
@@ -794,10 +802,10 @@ func (n *Network) roamScan() {
 		}
 		if best != nd.bss {
 			nd.reassociate(best)
-			n.roams++
+			n.shards[0].roams++
 		}
 	}
-	n.eng.Schedule(n.cfg.RoamIntervalUs, n.roamScan)
+	n.shards[0].eng.Schedule(n.cfg.RoamIntervalUs, n.roamScan)
 }
 
 // joinCS puts the node under live carrier-sense bookkeeping, deriving
@@ -855,7 +863,7 @@ func (nd *Node) reassociate(b *BSS) {
 	oldAp := nd.bss.AP
 	nd.freezeBackoff()
 	old := nd.med
-	next := nd.net.mediumFor(b.Channel)
+	next := nd.sh.mediumFor(b.Channel)
 	nd.bss = b
 	// Drop out of the release lists of in-flight frames on the old
 	// medium, then re-baseline against the new medium's frames; each
@@ -881,7 +889,7 @@ func (nd *Node) reassociate(b *BSS) {
 		}
 	}
 	nd.tryResume()
-	nd.net.emit(Event{Kind: EvRoam, Node: nd.id, Peer: b.AP.id,
+	nd.sh.emit(Event{Kind: EvRoam, Node: nd.id, Peer: b.AP.id,
 		Value: float64(oldAp.id)})
 	nd.net.handoffDownlink(nd, oldAp, b.AP)
 }
@@ -1017,32 +1025,78 @@ type Result struct {
 
 	// EngineStats is the discrete-event engine's introspection snapshot:
 	// events scheduled/fired/cancelled, heap high-water mark, and the
-	// event-record pool hit rate.
+	// event-record pool hit rate. For a sharded run it is the
+	// sim.MergeStats aggregate: counters summed (so PoolHitRate stays
+	// event-weighted), heap high-water the max across shards.
 	EngineStats sim.Stats
+
+	// Shards is how many engines actually ran (1 = single-engine, see
+	// Network.Plan for how a larger request was clamped); ShardStats
+	// holds each engine's own snapshot, indexed by shard. Plan records
+	// the full planning outcome, including the fallback reason when a
+	// multi-shard request collapsed to one engine.
+	Shards     int
+	ShardStats []sim.Stats
+	Plan       ShardPlan
 }
 
 func (n *Network) collect(durationUs float64) Result {
-	res := Result{
-		DurationUs:  durationUs,
-		RtsAttempts: n.rtsSent, RtsFailures: n.rtsFailed,
-		VirtualCollisions: n.virtualColl,
-		Roams:             n.roams, ModeAttempts: n.modeAttempts,
-		Txops: n.txops, AmpduHist: n.ampduHist, BlockAckRetries: n.blockAckRetries,
+	res := Result{DurationUs: durationUs, Shards: len(n.shards),
+		ModeAttempts: n.shards[0].modeAttempts}
+	if n.cfg.Aggregation != nil {
+		res.AmpduHist = n.shards[0].ampduHist
+	}
+	if len(n.shards) > 1 {
+		// Merge the per-shard histogram maps into fresh ones (the
+		// single-shard path above reuses shard 0's, exactly the map the
+		// pre-shard simulator returned).
+		res.ModeAttempts = make(map[string]int)
+		if n.cfg.Aggregation != nil {
+			res.AmpduHist = make(map[int]int)
+		}
+		for _, sh := range n.shards {
+			for k, v := range sh.modeAttempts {
+				res.ModeAttempts[k] += v
+			}
+			for k, v := range sh.ampduHist {
+				res.AmpduHist[k] += v
+			}
+		}
+	}
+	var attempts, delivered, collisions, noiseLoss [NumACs]int
+	var retryDrops, queueDrop [NumACs]int
+	var acAirtimeUs [NumACs]float64
+	for _, sh := range n.shards {
+		res.RtsAttempts += sh.rtsSent
+		res.RtsFailures += sh.rtsFailed
+		res.VirtualCollisions += sh.virtualColl
+		res.Roams += sh.roams
+		res.Txops += sh.txops
+		res.BlockAckRetries += sh.blockAckRetries
+		for ac := 0; ac < int(NumACs); ac++ {
+			attempts[ac] += sh.attempts[ac]
+			delivered[ac] += sh.delivered[ac]
+			collisions[ac] += sh.collisions[ac]
+			noiseLoss[ac] += sh.noiseLoss[ac]
+			retryDrops[ac] += sh.retryDrops[ac]
+			queueDrop[ac] += sh.queueDrop[ac]
+			acAirtimeUs[ac] += sh.acAirtimeUs[ac]
+		}
 	}
 	var delaysByAC [NumACs][]float64
 	for ac := 0; ac < int(NumACs); ac++ {
 		res.PerAC[ac] = ACStats{
-			Attempts: n.attempts[ac], Delivered: n.delivered[ac],
-			Collisions: n.collisions[ac], NoiseLosses: n.noiseLoss[ac],
-			RetryDrops: n.retryDrops[ac], QueueDrops: n.queueDrop[ac],
-			TxopAirtimeFrac: n.acAirtimeUs[ac] / durationUs,
+			Attempts: attempts[ac], Delivered: delivered[ac],
+			Collisions: collisions[ac], NoiseLosses: noiseLoss[ac],
+			RetryDrops: retryDrops[ac], QueueDrops: queueDrop[ac],
+			TxopAirtimeFrac: acAirtimeUs[ac] / durationUs,
 		}
-		res.Attempts += n.attempts[ac]
-		res.Delivered += n.delivered[ac]
-		res.Collisions += n.collisions[ac]
-		res.NoiseLosses += n.noiseLoss[ac]
-		res.RetryDrops += n.retryDrops[ac]
-		res.QueueDrops += n.queueDrop[ac]
+		res.Attempts += attempts[ac]
+		res.Delivered += delivered[ac]
+		res.Collisions += collisions[ac]
+		res.NoiseLosses += noiseLoss[ac]
+		res.RetryDrops += retryDrops[ac]
+		res.QueueDrops += queueDrop[ac]
 	}
 	for _, f := range n.flows {
 		fs := f.stats(durationUs)
@@ -1069,7 +1123,12 @@ func (n *Network) collect(durationUs float64) Result {
 	if n.sampler != nil {
 		res.Samples = n.sampler.finish(durationUs)
 	}
-	res.EngineStats = n.eng.Stats()
+	res.ShardStats = make([]sim.Stats, len(n.shards))
+	for i, sh := range n.shards {
+		res.ShardStats[i] = sh.eng.Stats()
+	}
+	res.EngineStats = sim.MergeStats(res.ShardStats...)
+	res.Plan = n.plan
 	return res
 }
 

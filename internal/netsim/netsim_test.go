@@ -199,18 +199,19 @@ func TestNavDefersContentionOnIdleMedium(t *testing.T) {
 	fl := n.Add(FlowSpec{From: st, AC: AC_BE, Gen: CBR{PayloadBytes: 400, IntervalUs: 1e6}})
 	n.build()
 
+	sh := n.shards[0]
 	st.setNav(5000)
 	st.enqueue(&packet{flow: fl, bytes: 400, arrivalUs: 0, ac: AC_BE})
-	n.eng.Run(4999)
-	if n.attempts[AC_BE] != 0 {
-		t.Fatalf("station transmitted %d times during its NAV on an idle medium", n.attempts[AC_BE])
+	sh.eng.Run(4999)
+	if sh.attempts[AC_BE] != 0 {
+		t.Fatalf("station transmitted %d times during its NAV on an idle medium", sh.attempts[AC_BE])
 	}
 	if q := &st.acq[AC_BE]; !q.contending || q.boEvent.Scheduled() {
 		t.Fatalf("station should be contending with the countdown parked: %+v", q)
 	}
-	n.eng.Run(20000)
-	if n.attempts[AC_BE] != 1 || n.delivered[AC_BE] != 1 {
-		t.Fatalf("after NAV expiry: attempts %d delivered %d, want 1/1", n.attempts[AC_BE], n.delivered[AC_BE])
+	sh.eng.Run(20000)
+	if sh.attempts[AC_BE] != 1 || sh.delivered[AC_BE] != 1 {
+		t.Fatalf("after NAV expiry: attempts %d delivered %d, want 1/1", sh.attempts[AC_BE], sh.delivered[AC_BE])
 	}
 }
 

@@ -36,8 +36,28 @@ type Probe interface {
 
 // AttachProbe points the network's event stream at p (nil detaches).
 // Attach before Prepare/Run to see the initial queue fills; attaching
-// mid-run is allowed and takes effect at the next event.
-func (n *Network) AttachProbe(p Probe) { n.probe = p }
+// mid-run is allowed and takes effect at the next event. A single
+// probe cannot observe concurrent shards, so a network with a plain
+// probe attached before Prepare plans itself onto one engine (see
+// planShards); to trace a sharded run, use AttachShardProbes.
+func (n *Network) AttachProbe(p Probe) {
+	n.probe = p
+	for _, sh := range n.shards {
+		sh.probe = p
+	}
+}
+
+// AttachShardProbes installs a per-shard probe factory: at Prepare,
+// shard i's event stream goes to f(i). Each probe sees only its own
+// shard's events, on that shard's goroutine — implementations need no
+// locking as long as the probes don't share state. Unlike AttachProbe,
+// this does not force single-engine planning. Call before Prepare.
+func (n *Network) AttachShardProbes(f func(shard int) Probe) {
+	if n.prepared {
+		panic("netsim: AttachShardProbes must be called before Prepare")
+	}
+	n.probeFactory = f
+}
 
 // EventKind discriminates what an Event describes.
 type EventKind uint8
@@ -196,10 +216,10 @@ func ampduBitmap(ok []bool) uint64 {
 }
 
 // txEvent builds the EvTxStart/EvTxEnd view of a frame in flight.
-// Callers guard with n.probe != nil — constructing the Event is already
-// probe-on work.
-func (n *Network) txEvent(kind EventKind, tr *transmission) Event {
-	ev := Event{TimeUs: n.eng.Now(), Kind: kind, Frame: tr.kind,
+// Callers guard with sh.probe != nil — constructing the Event is
+// already probe-on work.
+func (sh *shard) txEvent(kind EventKind, tr *transmission) Event {
+	ev := Event{TimeUs: sh.eng.Now(), Kind: kind, Frame: tr.kind,
 		AC: tr.pkt.ac, Node: tr.tx.id, Peer: tr.rx.id, Mode: tr.mode.Name}
 	if tr.kind == FrameData && tr.ex != nil {
 		ev.Bytes = tr.ex.totalBytes()
@@ -211,15 +231,15 @@ func (n *Network) txEvent(kind EventKind, tr *transmission) Event {
 	return ev
 }
 
-// emit hands one event to the attached probe, stamping the current
+// emit hands one event to the shard's probe, stamping the current
 // virtual time. Cold emission sites call this for uniformity; the hot
 // sites inline the nil-guard themselves so a probe-less run never
 // constructs the Event. Callers on hot paths must still guard with
-// n.probe != nil before building ev.
-func (n *Network) emit(ev Event) {
-	if n.probe == nil {
+// sh.probe != nil before building ev.
+func (sh *shard) emit(ev Event) {
+	if sh.probe == nil {
 		return
 	}
-	ev.TimeUs = n.eng.Now()
-	n.probe.OnEvent(ev)
+	ev.TimeUs = sh.eng.Now()
+	sh.probe.OnEvent(ev)
 }

@@ -16,7 +16,7 @@ func TestProbeOffNoAllocs(t *testing.T) {
 		t.Fatal("fresh network has a probe attached")
 	}
 	allocs := testing.AllocsPerRun(1000, func() {
-		n.emit(Event{Kind: EvRoam, Node: 1, Peer: 0, Value: 2})
+		n.shards[0].emit(Event{Kind: EvRoam, Node: 1, Peer: 0, Value: 2})
 	})
 	if allocs != 0 {
 		t.Fatalf("probe-off emit allocates %.1f times per call, want 0", allocs)

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"runtime"
 	"sync"
 	"time"
 )
@@ -43,9 +44,21 @@ func (p Progress) Rate() float64 {
 // jobs, and each job owns every piece of mutable state it touches
 // (engine, nodes, rng.Source), so results are bit-for-bit identical to
 // a serial run regardless of worker count or scheduling.
+//
+// Concurrency contract: two parallelism levels exist — jobs across the
+// pool, and shards inside one job (Config.Shards). RunAll keeps their
+// product within Parallelism by dividing the budget: each job may use
+// at most Parallelism / workers goroutines for its shards (floored at
+// 1, injected via Network.SetShardWorkers). Shard worker count never
+// changes results, so the split is purely a scheduling decision.
 type ScenarioRunner struct {
 	// Workers is the pool size; values below 2 run the jobs serially.
+	// The effective pool never exceeds Parallelism.
 	Workers int
+
+	// Parallelism caps the total goroutines running simulation work —
+	// pool workers times per-job shard workers. 0 means GOMAXPROCS.
+	Parallelism int
 
 	// OnProgress, when set, is called once per finished job, serialized
 	// under an internal lock so callbacks never interleave even with a
@@ -54,15 +67,34 @@ type ScenarioRunner struct {
 	OnProgress func(Progress)
 }
 
+// budget resolves the total-goroutine cap and the per-job shard-worker
+// slice for a pool of the given size.
+func (r ScenarioRunner) budget(workers int) (total, perJob int) {
+	total = r.Parallelism
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perJob = total / workers
+	if perJob < 1 {
+		perJob = 1
+	}
+	return total, perJob
+}
+
 // RunAll executes every job and returns results in job order.
 func (r ScenarioRunner) RunAll(jobs []Job) []Result {
 	out := make([]Result, len(jobs))
 	done := 0
 	var mu sync.Mutex
-	runOne := func(i int) {
+	runOne := func(i, shardWorkers int) {
 		j := jobs[i]
 		start := time.Now()
-		out[i] = j.Build(j.Seed).Run(j.DurationUs)
+		net := j.Build(j.Seed)
+		net.SetShardWorkers(shardWorkers)
+		out[i] = net.Run(j.DurationUs)
 		if r.OnProgress == nil {
 			return
 		}
@@ -75,8 +107,10 @@ func (r ScenarioRunner) RunAll(jobs []Job) []Result {
 		mu.Unlock()
 	}
 	if r.Workers < 2 || len(jobs) < 2 {
+		// Serial pool: a sharded job may have the whole budget.
+		_, perJob := r.budget(1)
 		for i := range jobs {
-			runOne(i)
+			runOne(i, perJob)
 		}
 		return out
 	}
@@ -86,12 +120,16 @@ func (r ScenarioRunner) RunAll(jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	total, perJob := r.budget(workers)
+	if workers > total {
+		workers = total
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				runOne(i)
+				runOne(i, perJob)
 			}
 		}()
 	}

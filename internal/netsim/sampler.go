@@ -83,12 +83,14 @@ func newSampler(n *Network) *sampler {
 	return s
 }
 
-// arm schedules the first tick.
-func (s *sampler) arm() { s.net.eng.Schedule(s.intervalUs, s.tick) }
+// arm schedules the first tick. The sampler reads cross-shard state, so
+// planShards forces a sampled network onto a single engine — shard 0
+// therefore holds every counter the tick reads.
+func (s *sampler) arm() { s.net.shards[0].eng.Schedule(s.intervalUs, s.tick) }
 
 // tick closes the window ending now and re-arms.
 func (s *sampler) tick() {
-	s.record(s.net.eng.Now())
+	s.record(s.net.shards[0].eng.Now())
 	s.arm()
 }
 
@@ -114,12 +116,12 @@ func (s *sampler) record(nowUs float64) {
 		}
 	}
 	for ac := 0; ac < int(NumACs); ac++ {
-		bytes := n.acBytesDelivered[ac]
+		bytes := n.shards[0].acBytesDelivered[ac]
 		ser.AcGoodputMbps[ac] = append(ser.AcGoodputMbps[ac],
 			float64(8*(bytes-s.prevAcBytes[ac]))/width)
 		s.prevAcBytes[ac] = bytes
 		ser.AcQueueDepth[ac] = append(ser.AcQueueDepth[ac], depth[ac])
-		air := n.acAirtimeUs[ac]
+		air := n.shards[0].acAirtimeUs[ac]
 		ser.AcAirtimeUs[ac] = append(ser.AcAirtimeUs[ac], air-s.prevAcAirUs[ac])
 		s.prevAcAirUs[ac] = air
 	}

@@ -1,0 +1,425 @@
+package netsim
+
+import (
+	"sort"
+
+	"repro/internal/linkmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// The shard layer: conservative-PDES partitioning of one Network.
+//
+// A shard is one execution partition — its own sim.Engine, its own
+// rng.Source stream, its own media, and its own run counters. During an
+// epoch (sim.ShardedDriver) a shard's goroutine may touch only state
+// owned by that shard plus the Network's frozen build products (config,
+// gain matrices, node positions); everything mutable in the MAC hot
+// path hangs off the shard a node belongs to. Cross-shard traffic —
+// possible only through flow relaying, which planning normally keeps
+// inside one shard — goes through a per-shard outbox drained at each
+// epoch barrier (drainMailboxes), so no shard ever writes another
+// shard's state concurrently.
+//
+// Partitioning is by interaction group, not by raw grid cell: two BSSs
+// interact when any of their nodes share a channel within carrier
+// sense, NAV decode, or meaningful-interference range, or when a flow
+// connects them (interactionGroups). Shards are unions of whole groups,
+// so nothing physical ever crosses a seam — the lookahead epoch exists
+// to bound the latency of the one logical channel left (the mailbox),
+// and correctness does not depend on its length.
+//
+// Determinism: each shard's event order is a function of its own engine
+// and RNG stream only, and the barrier drain walks shards in index
+// order on one goroutine. A run with Shards: N is therefore bit-for-bit
+// reproducible for fixed N, independent of worker count or goroutine
+// scheduling. With one shard the planner hands the shard the Network's
+// own rng.Source un-split, so Shards: 0/1 runs are bit-identical to
+// the pre-shard simulator (the compat goldens pin this).
+
+// interferenceMarginDB is how far below the noise floor a foreign
+// transmission must arrive before the planner may ignore it: energy at
+// noise − 30 dB shifts any SINR by < 0.005 dB, beneath every PER
+// curve's resolution.
+const interferenceMarginDB = 30
+
+// shardEpochSlots sizes the lookahead epoch in units of (SIFS + slot)
+// — the shortest think-time the DCF inserts between dependent frames.
+// Shard contents are fully decoupled, so the epoch length only trades
+// barrier overhead against mailbox latency; ~1024 units ≈ 26 ms of
+// virtual time for 11a/g timing, a few dozen barriers per simulated
+// second.
+const shardEpochSlots = 1024
+
+// shard is one conservative-PDES partition of a Network: an engine, a
+// deterministic RNG stream, the media of its BSS groups, and the
+// run-counter half of what collect aggregates into a Result.
+type shard struct {
+	net *Network
+	idx int
+
+	eng   sim.Engine
+	src   *rng.Source
+	probe Probe
+	media []*medium
+
+	// modeCache memoizes per-link rate selection within the shard; link
+	// SNR only changes when a node moves, which clears it (refreshGains;
+	// mobility forces single-shard, so the clear never races).
+	modeCache map[[2]int]linkmodel.Mode
+
+	// Run counters, mirrored from the pre-shard Network fields; collect
+	// sums them across shards.
+	attempts, delivered   [NumACs]int
+	collisions, noiseLoss [NumACs]int
+	retryDrops, queueDrop [NumACs]int
+	rtsSent, rtsFailed    int
+	virtualColl           int
+	roams                 int
+	modeAttempts          map[string]int
+	txops                 int
+	acAirtimeUs           [NumACs]float64
+	ampduHist             map[int]int
+	blockAckRetries       int
+	acBytesDelivered      [NumACs]int
+
+	// outbox holds packets addressed to nodes of other shards, appended
+	// only by this shard's goroutine and drained in shard-index order at
+	// each epoch barrier. No lock: the single-writer/barrier-drain
+	// discipline is the synchronization.
+	outbox []shardMsg
+}
+
+// shardMsg is one cross-shard packet in flight between epoch barriers.
+type shardMsg struct {
+	dst *Node
+	pkt *packet
+}
+
+func newShard(n *Network, idx int) *shard {
+	sh := &shard{net: n, idx: idx,
+		modeCache:    make(map[[2]int]linkmodel.Mode),
+		modeAttempts: make(map[string]int)}
+	if n.cfg.Aggregation != nil {
+		sh.ampduHist = make(map[int]int)
+	}
+	return sh
+}
+
+// mediumFor returns the shard's medium for the channel, creating it on
+// first use. Media are per (shard, channel): two shards using the same
+// channel number are beyond interaction range by construction, so their
+// media never see each other's frames.
+func (sh *shard) mediumFor(ch int) *medium {
+	for _, m := range sh.media {
+		if m.channel == ch {
+			return m
+		}
+	}
+	n := sh.net
+	m := &medium{net: n, sh: sh, channel: ch}
+	if !n.cfg.DisableSpatialIndex {
+		// Cell size = carrier-sense range: an energy-detect query visits
+		// at most the 3x3 block around the transmitter's cell.
+		m.grid = newSpatialGrid(n.csRangeM)
+	}
+	sh.media = append(sh.media, m)
+	n.media = append(n.media, m)
+	return m
+}
+
+// linkMode selects the best rate-table mode for the link at its median
+// SNR (10% PER ceiling, falling back to the most robust mode). The
+// choice is memoized per link until a move invalidates the gains. Lives
+// on the shard so concurrent shards never share the cache map.
+func (sh *shard) linkMode(tx, rx *Node) linkmodel.Mode {
+	key := [2]int{tx.id, rx.id}
+	if m, ok := sh.modeCache[key]; ok {
+		return m
+	}
+	n := sh.net
+	m, _ := linkmodel.BestMode(n.cfg.Modes, n.linkSNRdB(tx, rx), false, 0.1)
+	sh.modeCache[key] = m
+	return m
+}
+
+// post files a packet for a node owned by another shard; the next epoch
+// barrier enqueues it there.
+func (sh *shard) post(dst *Node, p *packet) {
+	sh.outbox = append(sh.outbox, shardMsg{dst: dst, pkt: p})
+}
+
+// forward hands a packet to dst's transmit queue: directly when dst
+// lives on the carrier's shard (always the case for flow endpoints —
+// planning co-shards them), through the mailbox otherwise.
+func (nd *Node) forward(dst *Node, p *packet) {
+	if dst.sh == nd.sh {
+		dst.enqueue(p)
+		return
+	}
+	nd.sh.post(dst, p)
+}
+
+// drainMailboxes delivers every cross-shard packet posted during the
+// finished epoch. It runs at the barrier with all engines quiescent at
+// the same virtual time, walking shards in index order on one goroutine
+// — so delivery order, and everything it schedules, is deterministic.
+func (n *Network) drainMailboxes(float64) {
+	for _, sh := range n.shards {
+		for _, msg := range sh.outbox {
+			msg.dst.enqueue(msg.pkt)
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+}
+
+// ShardPlan describes how Prepare partitioned the deployment.
+type ShardPlan struct {
+	// Requested is Config.Shards as given (0 normalizes to 1); Shards is
+	// the count actually running, after clamping to the number of
+	// interaction groups or falling back to 1.
+	Requested int
+	Shards    int
+
+	// Groups is the number of independent interaction groups the floor
+	// decomposes into (1 when planning was skipped).
+	Groups int
+
+	// Reason, when non-empty, says why a multi-shard request fell back
+	// to single-engine execution.
+	Reason string
+
+	// NodesPerShard is each shard's node count — the balance the greedy
+	// assignment achieved.
+	NodesPerShard []int
+
+	// LookaheadUs is the epoch length of the sharded run (0 when
+	// single-engine).
+	LookaheadUs float64
+}
+
+// Plan returns the shard plan Prepare computed; the zero value before
+// Prepare has run.
+func (n *Network) Plan() ShardPlan { return n.plan }
+
+// SetShardWorkers caps the goroutines a multi-shard Run may occupy (0
+// means GOMAXPROCS, clamped to the shard count). Worker count never
+// changes results — only wall-clock — so ScenarioRunner uses this to
+// keep seeds × shards inside its Parallelism budget.
+func (n *Network) SetShardWorkers(k int) { n.shardWorkers = k }
+
+// lookaheadUs derives the epoch length from the MAC timing (see
+// shardEpochSlots).
+func (n *Network) lookaheadUs() float64 {
+	return shardEpochSlots * (n.cfg.Dcf.SIFSUs + n.cfg.Dcf.SlotUs)
+}
+
+// interactRangeM is the distance beyond which two same-channel nodes
+// cannot influence each other's MAC state: the max of carrier-sense
+// reach, NAV decode reach, and the farthest distance at which a
+// transmission still arrives above noise − interferenceMarginDB. Like
+// indexRanges, the budget folds in the deployment's most favorable
+// shadowing draw, so no lucky pair reaches across a seam.
+func (n *Network) interactRangeM() float64 {
+	b := n.cfg.Budget
+	gainDBm := b.TxPowerDBm + b.TxAntennaGain + b.RxAntennaGain - n.minShadowDB()
+	r := maxDistForLoss(n.cfg.PathLoss, gainDBm-(n.noiseFloorDBm-interferenceMarginDB))
+	if n.csRangeM > r {
+		r = n.csRangeM
+	}
+	if n.navRangeM > r {
+		r = n.navRangeM
+	}
+	return r
+}
+
+// minShadowDB is the most favorable (most negative) shadowing draw in
+// the deployment — the widening both the spatial-index radii and the
+// shard-planning radius apply to stay conservative per pair.
+func (n *Network) minShadowDB() float64 {
+	min := 0.0
+	for i := range n.shadowDB {
+		for j := i + 1; j < len(n.shadowDB[i]); j++ {
+			if sh := n.shadowDB[i][j]; sh < min {
+				min = sh
+			}
+		}
+	}
+	return min
+}
+
+// interactionGroups partitions the BSS set into groups that cannot
+// influence each other: union-find over BSS indices, merging on (a) any
+// same-channel node pair within interactRangeM — carrier sense, NAV
+// adoption, and SINR-relevant interference are all confined to a
+// channel — and (b) any flow connecting two BSSs (relay and downlink
+// traffic must stay on one engine). Groups come back as sorted BSS
+// index lists, ordered by their smallest member, so the partition is a
+// pure function of the topology.
+func (n *Network) interactionGroups() [][]int {
+	parent := make([]int, len(n.bss))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+	}
+	r := n.interactRangeM()
+	for i, a := range n.nodes {
+		for j := i + 1; j < len(n.nodes); j++ {
+			b := n.nodes[j]
+			if a.bss == b.bss || a.bss.Channel != b.bss.Channel {
+				continue
+			}
+			if find(a.bss.idx) == find(b.bss.idx) {
+				continue
+			}
+			if dist(a, b) <= r {
+				union(a.bss.idx, b.bss.idx)
+			}
+		}
+	}
+	for _, f := range n.flows {
+		to := f.From.bss
+		if f.To != nil {
+			to = f.To.bss
+		}
+		union(f.From.bss.idx, to.idx)
+	}
+	groups := make(map[int][]int)
+	roots := make([]int, 0)
+	for i := range n.bss {
+		rt := find(i)
+		if len(groups[rt]) == 0 {
+			roots = append(roots, rt)
+		}
+		groups[rt] = append(groups[rt], i)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(roots))
+	for _, rt := range roots {
+		out = append(out, groups[rt])
+	}
+	return out
+}
+
+// balanceGroups assigns whole interaction groups to k shards, heaviest
+// group first onto the least-loaded shard (weight = node count). Ties
+// break toward earlier groups and lower shard indices, so the
+// assignment is deterministic. Returns shard index per BSS.
+func balanceGroups(groups [][]int, bssNodes []int, k int) []int {
+	type wg struct{ idx, weight int }
+	ws := make([]wg, len(groups))
+	for i, grp := range groups {
+		w := 0
+		for _, b := range grp {
+			w += bssNodes[b]
+		}
+		ws[i] = wg{i, w}
+	}
+	sort.SliceStable(ws, func(a, b int) bool { return ws[a].weight > ws[b].weight })
+	load := make([]int, k)
+	out := make([]int, len(bssNodes))
+	for _, g := range ws {
+		best := 0
+		for s := 1; s < k; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		load[best] += g.weight
+		for _, b := range groups[g.idx] {
+			out[b] = best
+		}
+	}
+	return out
+}
+
+// planShards decides the partition and creates the shards, assigning
+// every node to one. Called from build after the gain matrix and index
+// ranges are final (the planning radius depends on the shadowing
+// draws) and before media are created. The single-shard path — whether
+// requested or fallen back to — hands shard 0 the Network's own
+// rng.Source and attached probe, keeping it bit-identical to the
+// pre-shard simulator; a multi-shard run splits one deterministic
+// child stream per shard in shard order.
+func (n *Network) planShards() {
+	req := n.cfg.Shards
+	if req < 1 {
+		req = 1
+	}
+	plan := ShardPlan{Requested: req, Shards: 1, Groups: 1}
+	var assign []int
+	if req > 1 {
+		switch {
+		case n.cfg.RoamIntervalUs > 0:
+			plan.Reason = "mobility couples every shard (roam scans read and move global state)"
+		case n.cfg.SampleIntervalUs > 0:
+			plan.Reason = "the telemetry sampler reads cross-shard state each tick"
+		case n.probe != nil:
+			plan.Reason = "a single attached Probe cannot observe concurrent shards (use AttachShardProbes)"
+		default:
+			groups := n.interactionGroups()
+			plan.Groups = len(groups)
+			if len(groups) < 2 {
+				plan.Reason = "floor is one coupled interaction group"
+			} else {
+				k := req
+				if k > len(groups) {
+					k = len(groups)
+				}
+				plan.Shards = k
+				bssNodes := make([]int, len(n.bss))
+				for _, nd := range n.nodes {
+					bssNodes[nd.bss.idx]++
+				}
+				assign = balanceGroups(groups, bssNodes, k)
+			}
+		}
+	}
+	n.shards = make([]*shard, plan.Shards)
+	for i := range n.shards {
+		n.shards[i] = newShard(n, i)
+	}
+	if plan.Shards == 1 {
+		n.shards[0].src = n.src
+		n.shards[0].probe = n.probe
+		if n.probeFactory != nil && n.probe == nil {
+			n.shards[0].probe = n.probeFactory(0)
+		}
+		for _, nd := range n.nodes {
+			nd.sh = n.shards[0]
+		}
+	} else {
+		plan.LookaheadUs = n.lookaheadUs()
+		for _, sh := range n.shards {
+			sh.src = n.src.Split()
+			if n.probeFactory != nil {
+				sh.probe = n.probeFactory(sh.idx)
+			}
+		}
+		for _, nd := range n.nodes {
+			nd.sh = n.shards[assign[nd.bss.idx]]
+		}
+	}
+	plan.NodesPerShard = make([]int, plan.Shards)
+	for _, nd := range n.nodes {
+		plan.NodesPerShard[nd.sh.idx]++
+	}
+	n.plan = plan
+}

@@ -249,16 +249,8 @@ func (g *spatialGrid) query(x, y, radiusM float64, out []*Node) []*Node {
 // threshold so low that the cap binds just degenerates the grid toward
 // one floor-sized cell, i.e. the brute-force scan.
 func (n *Network) indexRanges() (csM, navM float64) {
-	minShadowDB := 0.0
-	for i := range n.shadowDB {
-		for j := i + 1; j < len(n.shadowDB[i]); j++ {
-			if sh := n.shadowDB[i][j]; sh < minShadowDB {
-				minShadowDB = sh
-			}
-		}
-	}
 	b := n.cfg.Budget
-	gainDBm := b.TxPowerDBm + b.TxAntennaGain + b.RxAntennaGain - minShadowDB
+	gainDBm := b.TxPowerDBm + b.TxAntennaGain + b.RxAntennaGain - n.minShadowDB()
 	csM = maxDistForLoss(n.cfg.PathLoss, gainDBm-n.cfg.CSThresholdDBm)
 	navM = maxDistForLoss(n.cfg.PathLoss, gainDBm-(n.noiseFloorDBm+n.robustMode().SnrReqDB))
 	return csM, navM

@@ -185,7 +185,11 @@ func (f *Flow) start() {
 		f.topUp()
 		return
 	}
-	f.net.eng.Schedule(f.Gen.firstGapUs(f.net.src), func() { f.arrive() })
+	// Arrivals live on the injection node's shard: its engine for the
+	// timers, its source for the gap draws. Planning co-locates a flow's
+	// endpoints, so the stream never needs to cross a seam.
+	sh := f.src.sh
+	sh.eng.Schedule(f.Gen.firstGapUs(sh.src), func() { f.arrive() })
 }
 
 // arrive enqueues one packet at the flow's injection node and, for
@@ -194,12 +198,13 @@ func (f *Flow) start() {
 // stop instead of hammering a full queue.
 func (f *Flow) arrive() bool {
 	f.arrivals++
-	p := &packet{flow: f, bytes: f.Gen.Bytes(), arrivalUs: f.net.eng.Now(), ac: f.ac}
+	sh := f.src.sh
+	p := &packet{flow: f, bytes: f.Gen.Bytes(), arrivalUs: sh.eng.Now(), ac: f.ac}
 	ok := f.src.enqueue(p)
 	if f.saturated {
 		return ok
 	}
-	f.net.eng.Schedule(f.Gen.nextGapUs(f.net.src), func() { f.arrive() })
+	sh.eng.Schedule(f.Gen.nextGapUs(sh.src), func() { f.arrive() })
 	return ok
 }
 
@@ -252,11 +257,14 @@ func (f *Flow) refill(tx *Node) {
 	}
 }
 
-// relayed hands a via-AP flow's packet from its first hop to the AP's
-// queue toward the final destination, preserving the arrival timestamp
-// so delay stays end-to-end. A full AP queue drops it there.
-func (f *Flow) relayed(p *packet, ap *Node) {
-	ap.enqueue(p)
+// relayed hands a via-AP flow's packet from its first hop (transmitted
+// by from) to the AP's queue toward the final destination, preserving
+// the arrival timestamp so delay stays end-to-end. A full AP queue
+// drops it there. The hop routes through forward: same-shard APs
+// enqueue synchronously (the only case planning produces), a cross-
+// shard AP would receive it at the next epoch barrier.
+func (f *Flow) relayed(p *packet, from *Node, ap *Node) {
+	from.forward(ap, p)
 	if f.saturated {
 		f.topUp()
 	}
@@ -267,7 +275,9 @@ func (f *Flow) relayed(p *packet, ap *Node) {
 func (f *Flow) delivered(p *packet, nowUs float64, tx *Node) {
 	f.deliveredN++
 	f.bytesDelivered += p.bytes
-	f.net.acBytesDelivered[p.ac] += p.bytes
+	tx.sh.acBytesDelivered[p.ac] += p.bytes
+	// bssBytes is indexed by BSS, and BSSs never span shards, so
+	// concurrent shards write disjoint slots of the shared slice.
 	f.net.bssBytes[tx.bss.idx] += p.bytes
 	d := nowUs - p.arrivalUs
 	f.delaysUs = append(f.delaysUs, d)

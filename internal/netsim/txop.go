@@ -75,7 +75,7 @@ func (nd *Node) buildExchange(t *Txop) *exchange {
 	}
 	ex.finalize(nd)
 	if t.LimitUs > 0 {
-		remaining := t.LimitUs + slotEps - (nd.net.eng.Now() - t.StartUs)
+		remaining := t.LimitUs + slotEps - (nd.sh.eng.Now() - t.StartUs)
 		for len(ex.mpdus) > 1 && ex.airUs() > remaining {
 			ex.mpdus = ex.mpdus[:len(ex.mpdus)-1]
 			ex.finalize(nd)
@@ -128,7 +128,7 @@ func (ex *exchange) airUs() float64 {
 func (nd *Node) launch(ex *exchange) {
 	pkt := ex.mpdus[0]
 	nd.curPkt = pkt
-	nd.net.attempts[pkt.ac]++
+	nd.sh.attempts[pkt.ac]++
 	if ex.ampdu {
 		q := ex.t.q
 		q.queue = q.queue[len(ex.mpdus):]
@@ -149,7 +149,7 @@ func (nd *Node) nextExchange() {
 	t := nd.txop
 	if len(t.q.queue) > 0 {
 		ex := nd.buildExchange(t)
-		if nd.net.eng.Now()+ex.airUs()-t.StartUs <= t.LimitUs+slotEps {
+		if nd.sh.eng.Now()+ex.airUs()-t.StartUs <= t.LimitUs+slotEps {
 			nd.launch(ex)
 			return
 		}
@@ -181,20 +181,20 @@ func (nd *Node) holdsTxop() bool {
 // worst-overlap SINR (none survive when the receiver was busy or gone),
 // and the resulting bitmap feeds the Block-ACK protocol.
 func (nd *Node) completeAmpdu(tr *transmission) {
-	net := nd.net
+	sh := nd.sh
 	ok := make([]bool, len(tr.ex.mpdus))
 	if !(tr.doomed || tr.rx.med != nd.med) {
 		per := tr.mode.PERAwgn(nd.med.sinrDB(tr))
 		for i := range ok {
-			ok[i] = net.src.Float64() >= per
+			ok[i] = sh.src.Float64() >= per
 		}
 	}
-	if net.probe != nil {
+	if sh.probe != nil {
 		any := false
 		for _, o := range ok {
 			any = any || o
 		}
-		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvRxOutcome,
+		sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvRxOutcome,
 			Frame: FrameData, AC: tr.pkt.ac, Node: nd.id, Peer: tr.rx.id,
 			Bytes: tr.ex.totalBytes(), Mpdus: len(ok), Ok: any,
 			SinrDB: nd.med.sinrDB(tr), Bitmap: ampduBitmap(ok), Mode: tr.mode.Name})
@@ -213,10 +213,11 @@ func (nd *Node) completeAmpdu(tr *transmission) {
 // verdict.
 func (nd *Node) applyBlockAck(tr *transmission, ok []bool) {
 	net := nd.net
+	sh := nd.sh
 	ex := tr.ex
 	q := ex.t.q
 	ac := tr.pkt.ac
-	net.acAirtimeUs[ac] += ex.airUs()
+	sh.acAirtimeUs[ac] += ex.airUs()
 	// The burst is off the air; a requeued head MPDU must not read as
 	// in-flight to a roam handoff landing in the chained-SIFS gap.
 	nd.curPkt = nil
@@ -237,43 +238,43 @@ func (nd *Node) applyBlockAck(tr *transmission, ok []bool) {
 	var requeue []*packet
 	for i, p := range ex.mpdus {
 		if ok[i] {
-			net.delivered[ac]++
+			sh.delivered[ac]++
 			if p.flow.viaAP() && tr.rx.ap {
-				p.flow.relayed(p, p.flow.To.bss.AP)
+				p.flow.relayed(p, nd, p.flow.To.bss.AP)
 			} else {
-				p.flow.delivered(p, net.eng.Now(), nd)
+				p.flow.delivered(p, sh.eng.Now(), nd)
 			}
 			continue
 		}
 		if interfered {
-			net.collisions[ac]++
+			sh.collisions[ac]++
 		} else {
-			net.noiseLoss[ac]++
+			sh.noiseLoss[ac]++
 		}
 		if to := p.flow.To; nd.ap && to != nil && !to.ap && to.bss.AP != nd {
 			// The destination reassociated while the burst was in
 			// flight: hand the MPDU to its current AP instead of
 			// retrying from one it no longer listens to.
 			p.retries = 0
-			to.bss.AP.enqueue(p)
+			nd.forward(to.bss.AP, p)
 			continue
 		}
 		p.retries++
 		if p.retries > net.cfg.Dcf.RetryLimit {
-			net.retryDrops[ac]++
+			sh.retryDrops[ac]++
 			p.flow.dropped(nd)
 			continue
 		}
 		if delivered > 0 {
-			net.blockAckRetries++
+			sh.blockAckRetries++
 		}
 		requeue = append(requeue, p)
 	}
 	if len(requeue) > 0 {
 		q.queue = append(requeue, q.queue...)
 	}
-	if net.probe != nil {
-		net.probe.OnEvent(Event{TimeUs: net.eng.Now(), Kind: EvBlockAck,
+	if sh.probe != nil {
+		sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvBlockAck,
 			AC: ac, Node: nd.id, Peer: tr.rx.id, Mpdus: len(ok),
 			Ok: delivered > 0, Bitmap: ampduBitmap(ok),
 			Value: float64(len(requeue))})
@@ -286,7 +287,7 @@ func (nd *Node) applyBlockAck(tr *transmission, ok []bool) {
 		q.exchangeFailed(false)
 	}
 	if delivered > 0 && nd.holdsTxop() {
-		net.eng.Schedule(net.cfg.Dcf.SIFSUs, nd.nextExchange)
+		sh.eng.Schedule(net.cfg.Dcf.SIFSUs, nd.nextExchange)
 		return
 	}
 	nd.endTxop()

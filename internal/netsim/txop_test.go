@@ -179,8 +179,8 @@ func TestBlockAckRetransmitsExactlyFailedSet(t *testing.T) {
 	if fl.deliveredN != 3 {
 		t.Errorf("flow recorded %d deliveries, want 3", fl.deliveredN)
 	}
-	if n.blockAckRetries != 2 {
-		t.Errorf("BlockAckRetries %d, want 2", n.blockAckRetries)
+	if n.shards[0].blockAckRetries != 2 {
+		t.Errorf("BlockAckRetries %d, want 2", n.shards[0].blockAckRetries)
 	}
 }
 

@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSingleDriverMatchesEngine: the SingleDriver wrapper is the plain
+// event loop — same fire sequence, same stats, same final clock.
+func TestSingleDriverMatchesEngine(t *testing.T) {
+	runDirect := func() ([]float64, Stats) {
+		var e Engine
+		var fired []float64
+		var tick func()
+		tick = func() {
+			fired = append(fired, e.Now())
+			if e.Now() < 90 {
+				e.Schedule(10, tick)
+			}
+		}
+		e.Schedule(10, tick)
+		e.Run(100)
+		return fired, e.Stats()
+	}
+	runDriver := func() ([]float64, Stats) {
+		var e Engine
+		var fired []float64
+		var tick func()
+		tick = func() {
+			fired = append(fired, e.Now())
+			if e.Now() < 90 {
+				e.Schedule(10, tick)
+			}
+		}
+		e.Schedule(10, tick)
+		d := SingleDriver{Eng: &e}
+		d.RunUntil(100)
+		return fired, d.Stats()
+	}
+	fa, sa := runDirect()
+	fb, sb := runDriver()
+	if len(fa) != len(fb) || sa != sb {
+		t.Fatalf("SingleDriver diverged from Engine.Run: %d/%d events, %+v vs %+v",
+			len(fa), len(fb), sa, sb)
+	}
+}
+
+// TestShardedDriverEpochBarriers: RunUntil must hit every lookahead
+// boundary exactly once, call OnBarrier with all engine clocks equal to
+// the barrier time, and leave every clock at the final target.
+func TestShardedDriverEpochBarriers(t *testing.T) {
+	engines := []*Engine{{}, {}, {}}
+	for _, e := range engines {
+		eng := e
+		var tick func()
+		tick = func() { eng.Schedule(7, tick) }
+		eng.Schedule(7, tick)
+	}
+	var barriers []float64
+	d := &ShardedDriver{Engines: engines, LookaheadUs: 25,
+		OnBarrier: func(nowUs float64) {
+			barriers = append(barriers, nowUs)
+			for i, e := range engines {
+				if e.Now() != nowUs {
+					t.Fatalf("engine %d at %.1f at the %.1f barrier", i, e.Now(), nowUs)
+				}
+			}
+		}}
+	d.RunUntil(100)
+	want := []float64{25, 50, 75, 100}
+	if len(barriers) != len(want) {
+		t.Fatalf("barriers %v, want %v", barriers, want)
+	}
+	for i, b := range barriers {
+		if b != want[i] {
+			t.Fatalf("barriers %v, want %v", barriers, want)
+		}
+	}
+	for i, e := range engines {
+		if e.Now() != 100 {
+			t.Fatalf("engine %d finished at %.1f, want 100", i, e.Now())
+		}
+	}
+}
+
+// TestShardedDriverZeroLookahead: non-positive lookahead runs one epoch
+// straight to the target (fully independent shards need no barriers).
+func TestShardedDriverZeroLookahead(t *testing.T) {
+	engines := []*Engine{{}, {}}
+	calls := 0
+	d := &ShardedDriver{Engines: engines,
+		OnBarrier: func(float64) { calls++ }}
+	d.RunUntil(1000)
+	if calls != 1 {
+		t.Fatalf("zero lookahead ran %d epochs, want 1", calls)
+	}
+	for _, e := range engines {
+		if e.Now() != 1000 {
+			t.Fatalf("engine clock %.1f, want 1000", e.Now())
+		}
+	}
+}
+
+// TestShardedDriverWorkerInvariance: within an epoch engines are
+// independent, so any worker count — serial, saturated, oversubscribed
+// — must produce the identical per-engine fire sequence.
+func TestShardedDriverWorkerInvariance(t *testing.T) {
+	run := func(workers int) [][]float64 {
+		engines := make([]*Engine, 5)
+		fired := make([][]float64, 5)
+		for i := range engines {
+			engines[i] = &Engine{}
+			eng, idx := engines[i], i
+			gap := 3 + float64(i) // distinct load per shard
+			var tick func()
+			tick = func() {
+				fired[idx] = append(fired[idx], eng.Now())
+				eng.Schedule(gap, tick)
+			}
+			eng.Schedule(gap, tick)
+		}
+		d := &ShardedDriver{Engines: engines, LookaheadUs: 50, Workers: workers}
+		d.RunUntil(500)
+		return fired
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 5, 32} {
+		got := run(workers)
+		for i := range ref {
+			if len(got[i]) != len(ref[i]) {
+				t.Fatalf("workers=%d: engine %d fired %d events, serial fired %d",
+					workers, i, len(got[i]), len(ref[i]))
+			}
+			for j := range ref[i] {
+				if got[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d: engine %d event %d at %.3f, serial at %.3f",
+						workers, i, j, got[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDriverMailboxProtocol drives the driver the way netsim
+// does: each shard appends cross-shard messages to its own outbox
+// during the epoch, and the barrier drains them into the destination
+// shard (scheduling work there). The delivered sets must be exactly
+// what was sent, and nothing may arrive before the barrier after its
+// posting epoch.
+func TestShardedDriverMailboxProtocol(t *testing.T) {
+	const shards = 4
+	engines := make([]*Engine, shards)
+	outbox := make([][]int, shards)   // msg = destination shard's running count
+	received := make([]int, shards)   // messages delivered to each shard
+	sent := make([]int, shards)       // messages addressed to each shard
+	postedAt := make([]float64, 0, 8) // barrier times deliveries happened at
+	for i := range engines {
+		engines[i] = &Engine{}
+		eng, idx := engines[i], i
+		var tick func()
+		tick = func() {
+			// Every 40us, post one message to the next shard.
+			dst := (idx + 1) % shards
+			outbox[idx] = append(outbox[idx], dst)
+			eng.Schedule(40, tick)
+		}
+		eng.Schedule(40, tick)
+	}
+	d := &ShardedDriver{Engines: engines, LookaheadUs: 100,
+		OnBarrier: func(nowUs float64) {
+			for src := range outbox {
+				for _, dst := range outbox[src] {
+					sent[dst]++
+					target := engines[dst]
+					d := dst
+					target.Schedule(0, func() { received[d]++ })
+					postedAt = append(postedAt, nowUs)
+				}
+				outbox[src] = outbox[src][:0]
+			}
+		}}
+	d.RunUntil(400)
+	for i := range received {
+		// The final barrier's deliveries schedule at t=400 and never run;
+		// all earlier ones must have fired in the following epoch.
+		fired := received[i]
+		wantMin := sent[i] - shards // at most one epoch's worth in flight
+		if fired < wantMin || fired > sent[i] {
+			t.Fatalf("shard %d received %d of %d sent", i, fired, sent[i])
+		}
+	}
+	for _, at := range postedAt {
+		if at != 100 && at != 200 && at != 300 && at != 400 {
+			t.Fatalf("mailbox drained off-barrier at %.1f", at)
+		}
+	}
+}
+
+// TestShardedDriverStatsAggregation: Stats() must sum event counters
+// across engines and take the max heap high-water.
+func TestShardedDriverStatsAggregation(t *testing.T) {
+	engines := []*Engine{{}, {}}
+	for i, e := range engines {
+		eng := e
+		for j := 0; j < (i+1)*10; j++ {
+			eng.Schedule(float64(j), func() {})
+		}
+	}
+	d := &ShardedDriver{Engines: engines, LookaheadUs: 100}
+	d.RunUntil(100)
+	got := d.Stats()
+	s0, s1 := engines[0].Stats(), engines[1].Stats()
+	if got.Scheduled != s0.Scheduled+s1.Scheduled || got.Fired != s0.Fired+s1.Fired {
+		t.Fatalf("merged %+v does not sum %+v + %+v", got, s0, s1)
+	}
+	wantHW := s0.HeapHighWater
+	if s1.HeapHighWater > wantHW {
+		wantHW = s1.HeapHighWater
+	}
+	if got.HeapHighWater != wantHW {
+		t.Fatalf("merged high-water %d, want max(%d, %d)", got.HeapHighWater,
+			s0.HeapHighWater, s1.HeapHighWater)
+	}
+}
+
+// TestMergeStats pins the aggregation semantics directly: sums for the
+// event/pool counters (keeping PoolHitRate event-weighted), max for the
+// heap high-water mark.
+func TestMergeStats(t *testing.T) {
+	a := Stats{Scheduled: 10, Fired: 8, Cancelled: 2, PoolHits: 6, PoolMisses: 4, HeapHighWater: 5}
+	b := Stats{Scheduled: 1, Fired: 1, Cancelled: 0, PoolHits: 0, PoolMisses: 1, HeapHighWater: 9}
+	m := MergeStats(a, b)
+	want := Stats{Scheduled: 11, Fired: 9, Cancelled: 2, PoolHits: 6, PoolMisses: 5, HeapHighWater: 9}
+	if m != want {
+		t.Fatalf("MergeStats = %+v, want %+v", m, want)
+	}
+	if z := MergeStats(); z != (Stats{}) {
+		t.Fatalf("MergeStats() = %+v, want zero", z)
+	}
+}
+
+// TestShardedDriverConcurrentEngines verifies the epoch fan-out really
+// runs engines on distinct goroutines without corrupting shared-nothing
+// state — meaningful under -race, where a stray cross-engine touch
+// would trip the detector.
+func TestShardedDriverConcurrentEngines(t *testing.T) {
+	const shards = 8
+	engines := make([]*Engine, shards)
+	counts := make([]int, shards)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	for i := range engines {
+		engines[i] = &Engine{}
+		eng, idx := engines[i], i
+		var tick func()
+		tick = func() {
+			counts[idx]++
+			eng.Schedule(1, tick)
+		}
+		eng.Schedule(1, tick)
+	}
+	d := &ShardedDriver{Engines: engines, LookaheadUs: 100, Workers: 4,
+		OnBarrier: func(nowUs float64) {
+			mu.Lock()
+			seen[int(nowUs)] = true
+			mu.Unlock()
+		}}
+	d.RunUntil(1000)
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("engine %d fired nothing", i)
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("saw %d barriers, want 10", len(seen))
+	}
+}
