@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
+	"repro/internal/netsim/app"
 	"repro/internal/netsim/trace"
 )
 
@@ -167,5 +168,34 @@ func BenchmarkE28ShardedFloor(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE29ClosedLoop times the closed-loop transport + app stack on
+// the E29 apartment floor: 9 BSSs on the 1/6/11 reuse plan, 8 users per
+// cell cycling the video/web/voice mix, every elastic flow driven by a
+// TCP-style Conn whose fate callbacks, RTO timers, and pump events ride
+// the same engine the MAC runs on. ns/op therefore covers the whole
+// feedback path — MAC completion → PacketFate → cwnd update → re-pump →
+// enqueue — on top of the DCF hot loop, which is the overhead the CI
+// gate holds: the closed loop must stay event-driven (no polling), so
+// its cost tracks delivered packets, not virtual time. Setup (gain
+// matrix via Prepare) is excluded as in E27/E28.
+func BenchmarkE29ClosedLoop(b *testing.B) {
+	build := app.ApartmentBlock(netsim.DefaultConfig(), 9, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := build(int64(i + 1))
+		n.Prepare()
+		b.StartTimer()
+		r := n.Run(2e6)
+		if r.Delivered == 0 {
+			b.Fatal("floor delivered nothing")
+		}
+		if r.QoE == nil || r.QoE.Users != 72 {
+			b.Fatal("QoE block missing or wrong user count")
+		}
 	}
 }

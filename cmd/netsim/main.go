@@ -21,6 +21,17 @@
 //	netsim -floor -bss 1024 -sta 4 -channels 1,6,11,36 -shards 4
 //	netsim -floor -shards 4 -shard-stats  # plan + per-shard engine table
 //
+// Closed-loop transport + application QoE (see README "Closed-loop
+// transport & QoE"): the apartment/office/stadium presets populate a
+// floor with web, video, and voice users on TCP-style connections and
+// print a pooled user-experience table next to the MAC tables, and
+// -config runs an arbitrary JSON scenario file:
+//
+//	netsim -scenario apartment -bss 9 -sta 8 -duration 5
+//	netsim -scenario stadium -seeds 4    # random-waypoint crowd
+//	netsim -config examples/closedloop.json
+//	netsim -config examples/closedloop.json -seeds 8 -workers 4
+//
 // Observability (first seed only; see README "Observability"):
 //
 //	netsim -scenario single -ampdu 8 -duration 0.01 -trace run.jsonl
@@ -44,6 +55,8 @@ import (
 
 	"repro/internal/mac"
 	"repro/internal/netsim"
+	"repro/internal/netsim/app"
+	"repro/internal/netsim/scenario"
 	"repro/internal/netsim/trace"
 	"repro/internal/report"
 )
@@ -58,7 +71,8 @@ func fail(format string, args ...any) {
 }
 
 func main() {
-	scenario := flag.String("scenario", "dense", "dense | mix | hidden | roam | floor | single")
+	scenarioName := flag.String("scenario", "dense", "dense | mix | hidden | roam | floor | single | apartment | office | stadium")
+	configPath := flag.String("config", "", "run a JSON scenario file instead of a named scenario (topology, flows, transport/app params; see examples/)")
 	floor := flag.Bool("floor", false, "shorthand for the large-floor preset: -scenario floor with 100 BSSs, 10 stations each, 1/6/11 reuse, and -62 dBm OBSS-PD carrier sense unless overridden")
 	nBSS := flag.Int("bss", 3, "number of BSSs (dense, floor)")
 	sta := flag.Int("sta", 17, "stations per BSS (dense, floor; floor saturates the first station per BSS and idles the rest)")
@@ -130,7 +144,7 @@ func main() {
 	if *ampdu < 0 {
 		fail("-ampdu must not be negative, got %d (0 disables aggregation)", *ampdu)
 	}
-	if *dataMbps <= 0 && *scenario == "mix" {
+	if *dataMbps <= 0 && *scenarioName == "mix" {
 		fail("-data-mbps must be positive for the mix scenario, got %v", *dataMbps)
 	}
 	if *sampleUs < 0 || math.IsNaN(*sampleUs) || math.IsInf(*sampleUs, 0) {
@@ -161,7 +175,7 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *floor {
-		*scenario = "floor"
+		*scenarioName = "floor"
 		if !set["bss"] {
 			*nBSS = 100
 		}
@@ -172,8 +186,39 @@ func main() {
 			channels = []int{1, 6, 11}
 		}
 	}
-	if *noSpatial && *scenario != "floor" && *scenario != "dense" {
-		fail("-no-spatial only affects the dense/floor scenarios (scenario %q has too few nodes for the index to engage)", *scenario)
+	if *noSpatial && *scenarioName != "floor" && *scenarioName != "dense" {
+		fail("-no-spatial only affects the dense/floor scenarios (scenario %q has too few nodes for the index to engage)", *scenarioName)
+	}
+
+	// -config hands the whole scenario shape to the JSON file: any flag
+	// that describes topology, traffic, or MAC options conflicts with it
+	// and is rejected eagerly, before the file is even read. Runtime
+	// flags (-seed, -seeds, -workers, -duration, output/trace options)
+	// still apply; -duration and -seeds override the file when set.
+	var scFile *scenario.File
+	if *configPath != "" {
+		for _, name := range []string{"scenario", "floor", "bss", "sta", "cols", "channels",
+			"payload", "data-mbps", "rts", "arf", "edca", "txop", "ampdu", "downlink",
+			"cs", "no-spatial", "shards", "sample-us"} {
+			if set[name] {
+				fail("-%s cannot be combined with -config (the file owns the scenario shape; set it there)", name)
+			}
+		}
+		var err error
+		scFile, err = scenario.Load(*configPath)
+		if err != nil {
+			fail("-config: %v", err)
+		}
+		*scenarioName = scFile.Name
+		if *scenarioName == "" {
+			*scenarioName = "config"
+		}
+		if !set["duration"] {
+			*durationS = scFile.DurationS
+		}
+		if !set["seeds"] && scFile.Seeds > 0 {
+			*seeds = scFile.Seeds
+		}
 	}
 
 	cfg := netsim.DefaultConfig()
@@ -181,10 +226,10 @@ func main() {
 	cfg.DisableSpatialIndex = *noSpatial
 	cfg.SampleIntervalUs = *sampleUs
 	cfg.Shards = *shards
-	if *scenario == "floor" && !set["cs"] {
+	if *scenarioName == "floor" && !set["cs"] {
 		*csDBm = -62 // OBSS-PD-style spatial reuse, as in E27
 	}
-	if set["cs"] || *scenario == "floor" {
+	if set["cs"] || *scenarioName == "floor" {
 		cfg.CSThresholdDBm = *csDBm
 	}
 	if *arf {
@@ -208,34 +253,59 @@ func main() {
 		cfg.Aggregation = &a
 	}
 	var build func(seed int64) *netsim.Network
-	switch *scenario {
-	case "dense":
-		build = netsim.DenseGrid(cfg, *nBSS, *sta, channels, 25, *payload)
-	case "floor":
-		c := *cols
-		if c <= 0 {
-			c = int(math.Ceil(math.Sqrt(float64(*nBSS))))
+	if scFile != nil {
+		build = scFile.Build()
+	}
+	switch {
+	case scFile != nil:
+		// Built above; the named-scenario switch is skipped entirely.
+	case *scenarioName == "apartment" || *scenarioName == "office" || *scenarioName == "stadium":
+		// Closed-loop QoE presets (README "Closed-loop transport &
+		// QoE"): -bss is the floor size, -sta the users per BSS cycling
+		// the preset's web/video/voice mix. The QoE table below pools
+		// the per-user experience across seeds.
+		if !set["bss"] {
+			*nBSS = 9
 		}
-		build = netsim.LargeFloor(cfg, *nBSS, *sta, c, channels...)
-	case "mix":
-		if *downlink {
-			build = netsim.TrafficMixDownlink(cfg, 6, 4, 2, *dataMbps)
-		} else {
-			build = netsim.TrafficMix(cfg, 6, 4, 2, *dataMbps)
+		if !set["sta"] {
+			*sta = 8
 		}
-	case "hidden":
-		build = netsim.HiddenPair(cfg, 300, *payload)
-	case "roam":
-		cfg.RoamIntervalUs = 100000
-		if *downlink {
-			build = netsim.RoamingWalkDownlink(cfg, 120, 15)
-		} else {
-			build = netsim.RoamingWalk(cfg, 120, 15)
-		}
-	case "single":
-		build = netsim.SingleLink(cfg, 20, *payload)
+		preset := map[string]func(netsim.Config, int, int) func(int64) *netsim.Network{
+			"apartment": app.ApartmentBlock,
+			"office":    app.OfficeFloor,
+			"stadium":   app.StadiumIngress,
+		}[*scenarioName]
+		build = preset(cfg, *nBSS, *sta)
 	default:
-		fail("unknown scenario %q", *scenario)
+		switch *scenarioName {
+		case "dense":
+			build = netsim.DenseGrid(cfg, *nBSS, *sta, channels, 25, *payload)
+		case "floor":
+			c := *cols
+			if c <= 0 {
+				c = int(math.Ceil(math.Sqrt(float64(*nBSS))))
+			}
+			build = netsim.LargeFloor(cfg, *nBSS, *sta, c, channels...)
+		case "mix":
+			if *downlink {
+				build = netsim.TrafficMixDownlink(cfg, 6, 4, 2, *dataMbps)
+			} else {
+				build = netsim.TrafficMix(cfg, 6, 4, 2, *dataMbps)
+			}
+		case "hidden":
+			build = netsim.HiddenPair(cfg, 300, *payload)
+		case "roam":
+			cfg.RoamIntervalUs = 100000
+			if *downlink {
+				build = netsim.RoamingWalkDownlink(cfg, 120, 15)
+			} else {
+				build = netsim.RoamingWalk(cfg, 120, 15)
+			}
+		case "single":
+			build = netsim.SingleLink(cfg, 20, *payload)
+		default:
+			fail("unknown scenario %q", *scenarioName)
+		}
 	}
 
 	// Tracing and the timeline view record the first seed only: one
@@ -260,7 +330,7 @@ func main() {
 	}
 
 	durationUs := *durationS * 1e6
-	jobs := netsim.SeedSweep(*scenario, build, durationUs, *seed-1, *seeds)
+	jobs := netsim.SeedSweep(*scenarioName, build, durationUs, *seed-1, *seeds)
 	runner := netsim.ScenarioRunner{Workers: *workers}
 	if *progress {
 		runner.OnProgress = func(p netsim.Progress) {
@@ -318,7 +388,7 @@ func main() {
 
 	agg := report.Table{
 		ID:     "netsim",
-		Title:  fmt.Sprintf("%s: %d seed(s), %.2f s virtual each (wall %v)", *scenario, *seeds, *durationS, wall.Round(time.Millisecond)),
+		Title:  fmt.Sprintf("%s: %d seed(s), %.2f s virtual each (wall %v)", *scenarioName, *seeds, *durationS, wall.Round(time.Millisecond)),
 		Header: []string{"seed", "agg Mbps", "delivered", "attempts", "txops", "collisions", "virt coll", "rts", "rts fail", "ba retx", "retry drops", "queue drops", "roams", "airtime", "Jain"},
 	}
 	for i, r := range results {
@@ -352,6 +422,20 @@ func main() {
 			fmt.Sprintf("%.3f", s.TxopAirtimeFrac), s.MeanDelayUs, s.P95DelayUs)
 	}
 	tables := []report.Table{agg, flows, acs}
+	if results[0].QoE != nil {
+		q := netsim.MergeQoE(results)
+		qt := report.Table{
+			ID:    "qoe",
+			Title: fmt.Sprintf("user QoE, pooled over %d seed(s)", *seeds),
+			Header: []string{"users", "web", "page loads", "mean PLT ms", "p95 PLT ms",
+				"video", "startup ms", "rebuffer", "stalls", "voice", "mean MOS", "min MOS"},
+		}
+		qt.AddRow(q.Users, q.WebUsers, q.PageLoads,
+			q.MeanPageLoadUs/1e3, q.P95PageLoadUs/1e3,
+			q.VideoUsers, q.MeanStartupUs/1e3, q.RebufferRatio, q.Rebuffers,
+			q.VoiceUsers, q.MeanMOS, q.MinMOS)
+		tables = append(tables, qt)
+	}
 	if h := results[0].AmpduHist; len(h) > 0 {
 		sizes := make([]int, 0, len(h))
 		for s := range h {

@@ -64,6 +64,7 @@ func All() []Runner {
 		{"E25", "EDCA access categories: voice tail latency vs legacy DCF (netsim)", E25EdcaQos},
 		{"E26", "A-MPDU aggregation restores MAC efficiency at high PHY rate (netsim)", E26AmpduEfficiency},
 		{"E27", "Large-floor density sweep: 25-144 BSSs with spatial reuse (netsim)", E27LargeFloorScale},
+		{"E29", "Closed-loop transport + app QoE vs user density (netsim)", E29ClosedLoopQoE},
 	}
 }
 

@@ -438,3 +438,54 @@ func TestE27DensityScalesUnderSpatialReuse(t *testing.T) {
 		}
 	}
 }
+
+func TestE29ClosedLoopSignature(t *testing.T) {
+	tb := E29ClosedLoopQoE(Quick())[0]
+	if len(tb.Rows) < 3 {
+		t.Fatalf("%d rows, want at least 3 densities", len(tb.Rows))
+	}
+	// Columns: users/BSS, users, closed Mbps, open-loop Mbps, p95 PLT ms,
+	// rebuffer ratio, mean MOS, qdrop rate. The closed loop self-limits:
+	// aggregate goodput may approach the same-geometry saturated-downlink
+	// ceiling but never exceed it, and the queues must not blow up.
+	for _, row := range tb.Rows {
+		closed, open := parse(t, row[2]), parse(t, row[3])
+		if closed > open*1.02 {
+			t.Errorf("%s users/BSS: closed-loop goodput %v exceeds the saturated ceiling %v",
+				row[0], closed, open)
+		}
+		if qdrop := parse(t, row[7]); qdrop > 0.25 {
+			t.Errorf("%s users/BSS: queue-drop rate %v — the transport is flooding, not self-limiting",
+				row[0], qdrop)
+		}
+	}
+	// Open-loop saturated goodput is flat at capacity — blind to density —
+	// while every added user shows up in the QoE columns: p95 page-load
+	// time and rebuffer ratio degrade monotonically, and voice never
+	// improves with load.
+	o0 := parse(t, tb.Rows[0][3])
+	oN := parse(t, tb.Rows[len(tb.Rows)-1][3])
+	if oN > o0*1.15 || oN < o0*0.85 {
+		t.Errorf("open-loop baseline moved with density (%v -> %v Mbps); it should sit at capacity", o0, oN)
+	}
+	prevPLT, prevReb := 0.0, 0.0
+	for _, row := range tb.Rows {
+		plt, reb := parse(t, row[4]), parse(t, row[5])
+		if plt < prevPLT {
+			t.Errorf("%s users/BSS: p95 page-load improved under more load (%v after %v ms)",
+				row[0], plt, prevPLT)
+		}
+		if reb < prevReb {
+			t.Errorf("%s users/BSS: rebuffer ratio improved under more load (%v after %v)",
+				row[0], reb, prevReb)
+		}
+		prevPLT, prevReb = plt, reb
+	}
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if p0, pN := parse(t, first[4]), parse(t, last[4]); pN < 1.5*p0 {
+		t.Errorf("p95 page-load barely moved (%v -> %v ms); densities too close to show degradation", p0, pN)
+	}
+	if m0, mN := parse(t, first[6]), parse(t, last[6]); mN > m0+0.2 {
+		t.Errorf("voice MOS improved with load: %v -> %v", m0, mN)
+	}
+}

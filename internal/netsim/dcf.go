@@ -83,6 +83,7 @@ func (nd *Node) enqueue(p *packet) bool {
 			sh.probe.OnEvent(Event{TimeUs: sh.eng.Now(), Kind: EvQueueDrop,
 				AC: p.ac, Node: nd.id, Peer: -1, Bytes: p.bytes})
 		}
+		p.flow.fate(FateQueueDrop, p, sh.eng.Now())
 		return false
 	}
 	nd.joinCS()
@@ -199,7 +200,7 @@ func (q *acQueue) exchangeFailed(dropHead bool) {
 			nd.sh.retryDrops[q.ac]++
 			p := q.queue[0]
 			q.queue = q.queue[1:]
-			p.flow.dropped(nd)
+			p.flow.dropped(p, nd)
 		}
 	} else {
 		q.cw = min(2*q.cw+1, q.params().CWMax)

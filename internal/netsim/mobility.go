@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Random-waypoint mobility: the node walks to a uniformly drawn point
+// inside a rectangle at a uniformly drawn speed, pauses, and repeats —
+// the classic ad-hoc-networking mobility model, here riding the same
+// roam-scan tick (and reusing the same handoff machinery) as the
+// straight-line walk. Positions advance only on RoamIntervalUs ticks,
+// so a leg shorter than one tick simply completes mid-tick and the
+// remainder of the tick goes to the pause and the next leg.
+
+// RandomWaypoint configures the walk for one node.
+type RandomWaypoint struct {
+	// The rectangle waypoints are drawn from.
+	MinX, MinY, MaxX, MaxY float64
+
+	// Speed for each leg is uniform in [SpeedMinMps, SpeedMaxMps].
+	SpeedMinMps, SpeedMaxMps float64
+
+	// PauseUs is the dwell at each waypoint before the next leg (0 =
+	// move continuously).
+	PauseUs float64
+}
+
+func (w RandomWaypoint) validate() {
+	if math.IsNaN(w.MaxX-w.MinX) || w.MaxX <= w.MinX ||
+		math.IsNaN(w.MaxY-w.MinY) || w.MaxY <= w.MinY {
+		panic(fmt.Sprintf("netsim: RandomWaypoint area [%v,%v]x[%v,%v] is empty",
+			w.MinX, w.MaxX, w.MinY, w.MaxY))
+	}
+	checkPositive("RandomWaypoint", "SpeedMinMps", w.SpeedMinMps)
+	checkPositive("RandomWaypoint", "SpeedMaxMps", w.SpeedMaxMps)
+	if w.SpeedMaxMps < w.SpeedMinMps {
+		panic(fmt.Sprintf("netsim: RandomWaypoint.SpeedMaxMps %v below SpeedMinMps %v",
+			w.SpeedMaxMps, w.SpeedMinMps))
+	}
+	if w.PauseUs < 0 || math.IsNaN(w.PauseUs) || math.IsInf(w.PauseUs, 0) {
+		panic(fmt.Sprintf("netsim: RandomWaypoint.PauseUs must be non-negative and finite, got %v", w.PauseUs))
+	}
+}
+
+// waypointState is the live walk: the current leg's target and speed,
+// the pause countdown, and the node's private draw stream — split from
+// the network source at registration, so waypoint draws never perturb
+// the MAC's randomness.
+type waypointState struct {
+	cfg RandomWaypoint
+	src *rng.Source
+
+	targetX, targetY float64
+	speedMps         float64
+	pauseLeftS       float64
+}
+
+// SetRandomWaypoint puts the node on a random-waypoint walk. Like
+// SetVelocity it advances on roam-scan ticks, so Config.RoamIntervalUs
+// must be set; unlike SetVelocity the walk is bounded by the
+// configured rectangle. Call before Prepare/Run.
+func (n *Network) SetRandomWaypoint(nd *Node, cfg RandomWaypoint) {
+	cfg.validate()
+	if n.cfg.RoamIntervalUs <= 0 {
+		panic("netsim: SetRandomWaypoint needs Config.RoamIntervalUs > 0 (mobility advances on roam-scan ticks)")
+	}
+	if n.prepared {
+		panic("netsim: SetRandomWaypoint must be called before Prepare")
+	}
+	wp := &waypointState{cfg: cfg, src: n.src.Split()}
+	wp.nextLeg(nd)
+	nd.wp = wp
+}
+
+// nextLeg draws the next waypoint and leg speed.
+func (w *waypointState) nextLeg(nd *Node) {
+	w.targetX = w.cfg.MinX + w.src.Float64()*(w.cfg.MaxX-w.cfg.MinX)
+	w.targetY = w.cfg.MinY + w.src.Float64()*(w.cfg.MaxY-w.cfg.MinY)
+	w.speedMps = w.cfg.SpeedMinMps + w.src.Float64()*(w.cfg.SpeedMaxMps-w.cfg.SpeedMinMps)
+}
+
+// step advances the walk by dtS seconds, consuming pauses and whole
+// legs as they complete inside the tick. It reports whether the node's
+// position changed (a tick spent entirely paused moves nothing, so the
+// caller skips the gain refresh).
+func (w *waypointState) step(nd *Node, dtS float64) bool {
+	moved := false
+	for dtS > 0 {
+		if w.pauseLeftS > 0 {
+			if w.pauseLeftS >= dtS {
+				w.pauseLeftS -= dtS
+				return moved
+			}
+			dtS -= w.pauseLeftS
+			w.pauseLeftS = 0
+		}
+		dx, dy := w.targetX-nd.X, w.targetY-nd.Y
+		distM := math.Hypot(dx, dy)
+		stepM := w.speedMps * dtS
+		if stepM < distM {
+			nd.X += dx / distM * stepM
+			nd.Y += dy / distM * stepM
+			return true
+		}
+		// The leg ends inside this tick: land on the waypoint, start
+		// the pause, and hand the leftover time to the next iteration.
+		nd.X, nd.Y = w.targetX, w.targetY
+		moved = moved || distM > 0
+		if w.speedMps > 0 {
+			dtS -= distM / w.speedMps
+		}
+		w.pauseLeftS = w.cfg.PauseUs / 1e6
+		w.nextLeg(nd)
+	}
+	return moved
+}

@@ -291,8 +291,11 @@ type Node struct {
 	// queue, no armed countdown, and not transmitting.
 	csTracked bool
 
-	// vx, vy move the node (metres/second) on each roam scan tick.
+	// vx, vy move the node (metres/second) on each roam scan tick. wp,
+	// when set, replaces the straight-line walk with the random-
+	// waypoint process (mobility.go) stepped on the same tick.
 	vx, vy float64
+	wp     *waypointState
 
 	// acq holds one EDCA transmit queue + contention state machine per
 	// access category (see dcf.go). Under legacy DCF only AC_BE is ever
@@ -426,6 +429,12 @@ type Network struct {
 	// write disjoint entries).
 	sampler  *sampler
 	bssBytes []int
+
+	// qoeSources are the per-user QoE reporters registered via AddQoE;
+	// collect calls each once after the run and pools them into
+	// Result.QoE (qoe.go). Empty on every pre-QoE scenario, so the
+	// Result surface the compat goldens fingerprint is untouched.
+	qoeSources []func() UserQoE
 }
 
 // New returns an empty network. All randomness (shadowing, backoff,
@@ -775,9 +784,15 @@ func (n *Network) Run(durationUs float64) Result {
 func (n *Network) roamScan() {
 	dtS := n.cfg.RoamIntervalUs / 1e6
 	for _, nd := range n.nodes {
-		if nd.vx != 0 || nd.vy != 0 {
+		moved := false
+		if nd.wp != nil {
+			moved = nd.wp.step(nd, dtS)
+		} else if nd.vx != 0 || nd.vy != 0 {
 			nd.X += nd.vx * dtS
 			nd.Y += nd.vy * dtS
+			moved = true
+		}
+		if moved {
 			n.refreshGains(nd)
 			if nd.med.grid != nil {
 				nd.med.grid.update(nd)
@@ -1023,6 +1038,11 @@ type Result struct {
 	// Config.SampleIntervalUs was set; nil otherwise. See SampleSeries.
 	Samples *SampleSeries
 
+	// QoE pools the application-level experience of every user
+	// registered via AddQoE (qoe.go); nil when the scenario carries no
+	// app users.
+	QoE *QoEStats
+
 	// EngineStats is the discrete-event engine's introspection snapshot:
 	// events scheduled/fired/cancelled, heap high-water mark, and the
 	// event-record pool hit rate. For a sharded run it is the
@@ -1122,6 +1142,13 @@ func (n *Network) collect(durationUs float64) Result {
 	}
 	if n.sampler != nil {
 		res.Samples = n.sampler.finish(durationUs)
+	}
+	if len(n.qoeSources) > 0 {
+		res.QoE = &QoEStats{}
+		for _, fn := range n.qoeSources {
+			res.QoE.add(fn())
+		}
+		res.QoE.finalize()
 	}
 	res.ShardStats = make([]sim.Stats, len(n.shards))
 	for i, sh := range n.shards {

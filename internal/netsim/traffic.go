@@ -140,6 +140,10 @@ type Flow struct {
 	ac  AC
 	src *Node
 
+	// control, when set, closes the loop: it hears every packet's
+	// final fate and may inject traffic of its own (closedloop.go).
+	control Control
+
 	arrivals, deliveredN  int
 	queueDrops, lineDrops int
 	bytesDelivered        int
@@ -180,16 +184,24 @@ func (f *Flow) start() {
 	if !f.net.edcaOn {
 		f.ac = AC_BE
 	}
-	if f.Gen.isSaturated() {
+	switch {
+	case f.Gen.isSaturated():
 		f.saturated = true
 		f.topUp()
-		return
+	default:
+		if _, pull := f.Gen.(Pull); !pull {
+			// Arrivals live on the injection node's shard: its engine
+			// for the timers, its source for the gap draws. Planning
+			// co-locates a flow's endpoints, so the stream never needs
+			// to cross a seam. A Pull flow schedules nothing — its
+			// Control injects on demand.
+			sh := f.src.sh
+			sh.eng.Schedule(f.Gen.firstGapUs(sh.src), func() { f.arrive() })
+		}
 	}
-	// Arrivals live on the injection node's shard: its engine for the
-	// timers, its source for the gap draws. Planning co-locates a flow's
-	// endpoints, so the stream never needs to cross a seam.
-	sh := f.src.sh
-	sh.eng.Schedule(f.Gen.firstGapUs(sh.src), func() { f.arrive() })
+	if f.control != nil {
+		f.control.Start()
+	}
 }
 
 // arrive enqueues one packet at the flow's injection node and, for
@@ -290,10 +302,12 @@ func (f *Flow) delivered(p *packet, nowUs float64, tx *Node) {
 	}
 	f.lastDelayUs, f.hasLast = d, true
 	f.refill(tx)
+	f.fate(FateDelivered, p, nowUs)
 }
 
 // dropped records a retry-limit drop at tx and refills saturated flows.
-func (f *Flow) dropped(tx *Node) {
+func (f *Flow) dropped(p *packet, tx *Node) {
 	f.lineDrops++
 	f.refill(tx)
+	f.fate(FateRetryDrop, p, tx.sh.eng.Now())
 }

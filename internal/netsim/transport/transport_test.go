@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// TestRTOHandTrace drives the RFC 6298 estimator against a trace
+// worked out by hand: first sample sets srtt=R, rttvar=R/2; the next
+// folds in with gains 1/8 and 1/4.
+func TestRTOHandTrace(t *testing.T) {
+	s := State{Cwnd: 2, Ssthresh: 64, MaxCwnd: 64, RTOUs: 100e3, MinRTOUs: 1, MaxRTOUs: 1e9}
+	s.OnAck(100e3)
+	if s.SrttUs != 100e3 || s.RttvarUs != 50e3 {
+		t.Fatalf("first sample: srtt=%v rttvar=%v, want 100000/50000", s.SrttUs, s.RttvarUs)
+	}
+	if s.RTOUs != 300e3 { // srtt + 4*rttvar
+		t.Fatalf("first RTO=%v, want 300000", s.RTOUs)
+	}
+	s.OnAck(50e3)
+	// rttvar = 3/4*50000 + 1/4*|100000-50000| = 50000
+	// srtt   = 7/8*100000 + 1/8*50000        = 93750
+	if s.RttvarUs != 50e3 || s.SrttUs != 93750 {
+		t.Fatalf("second sample: srtt=%v rttvar=%v, want 93750/50000", s.SrttUs, s.RttvarUs)
+	}
+	if s.RTOUs != 293750 {
+		t.Fatalf("second RTO=%v, want 293750", s.RTOUs)
+	}
+}
+
+// TestRTOClamp pins the [MinRTOUs, MaxRTOUs] bounds on both sides.
+func TestRTOClamp(t *testing.T) {
+	s := State{Cwnd: 2, Ssthresh: 64, MaxCwnd: 64, RTOUs: 100e3, MinRTOUs: 20e3, MaxRTOUs: 250e3}
+	s.OnAck(1e3) // raw RTO 3000 < floor
+	if s.RTOUs != 20e3 {
+		t.Fatalf("RTO=%v, want clamped to floor 20000", s.RTOUs)
+	}
+	s = State{Cwnd: 2, Ssthresh: 64, MaxCwnd: 64, RTOUs: 100e3, MinRTOUs: 20e3, MaxRTOUs: 250e3}
+	s.OnAck(100e3) // raw RTO 300000 > ceiling
+	if s.RTOUs != 250e3 {
+		t.Fatalf("RTO=%v, want clamped to ceiling 250000", s.RTOUs)
+	}
+}
+
+// TestWindowGrowthHandTrace: slow start adds a full segment per ACK up
+// to ssthresh, then congestion avoidance adds 1/cwnd.
+func TestWindowGrowthHandTrace(t *testing.T) {
+	s := State{Cwnd: 2, Ssthresh: 4, MaxCwnd: 64, RTOUs: 100e3, MinRTOUs: 1, MaxRTOUs: 1e9}
+	s.OnAck(1000) // 2 -> 3 (slow start)
+	s.OnAck(1000) // 3 -> 4 (slow start)
+	if s.Cwnd != 4 {
+		t.Fatalf("after slow start cwnd=%v, want 4", s.Cwnd)
+	}
+	s.OnAck(1000) // 4 -> 4.25 (AIMD)
+	if s.Cwnd != 4.25 {
+		t.Fatalf("first AIMD step cwnd=%v, want 4.25", s.Cwnd)
+	}
+	s.OnAck(1000) // 4.25 -> 4.25 + 1/4.25
+	if want := 4.25 + 1/4.25; s.Cwnd != want {
+		t.Fatalf("second AIMD step cwnd=%v, want %v", s.Cwnd, want)
+	}
+}
+
+// TestCwndCap: the window never exceeds MaxCwnd in either regime.
+func TestCwndCap(t *testing.T) {
+	s := State{Cwnd: 7.8, Ssthresh: 64, MaxCwnd: 8, RTOUs: 100e3, MinRTOUs: 1, MaxRTOUs: 1e9}
+	s.OnAck(1000)
+	if s.Cwnd != 8 {
+		t.Fatalf("cwnd=%v, want capped at 8", s.Cwnd)
+	}
+}
+
+// TestLossHalvesOncePerRTT: the first loss halves the window and opens
+// a recovery window one RTT long; losses inside it are the same
+// congestion event and change nothing; a loss after it halves again.
+func TestLossHalvesOncePerRTT(t *testing.T) {
+	s := State{Cwnd: 8, Ssthresh: 64, MaxCwnd: 64, SrttUs: 1000, RTOUs: 100e3, MinRTOUs: 1, MaxRTOUs: 1e9}
+	if !s.OnLoss(0) {
+		t.Fatal("first loss should react")
+	}
+	if s.Cwnd != 4 || s.Ssthresh != 4 {
+		t.Fatalf("after loss cwnd=%v ssthresh=%v, want 4/4", s.Cwnd, s.Ssthresh)
+	}
+	if s.OnLoss(500) {
+		t.Fatal("loss inside the recovery RTT must not react again")
+	}
+	if s.Cwnd != 4 {
+		t.Fatalf("cwnd moved inside recovery: %v", s.Cwnd)
+	}
+	if !s.OnLoss(1500) {
+		t.Fatal("loss after the recovery RTT should react")
+	}
+	if s.Cwnd != 2 || s.Ssthresh != 2 {
+		t.Fatalf("second halving cwnd=%v ssthresh=%v, want 2/2 (floor)", s.Cwnd, s.Ssthresh)
+	}
+	// Floor: a third halving stays at 2.
+	if !s.OnLoss(5000) || s.Cwnd != 2 {
+		t.Fatalf("threshold floor broken: cwnd=%v", s.Cwnd)
+	}
+}
+
+// TestTimeoutBackoff: each timeout collapses the window to one segment
+// and doubles the (clamped) timeout; an ACK resets the backoff run.
+func TestTimeoutBackoff(t *testing.T) {
+	s := State{Cwnd: 8, Ssthresh: 64, MaxCwnd: 64, RTOUs: 100e3, MinRTOUs: 20e3, MaxRTOUs: 300e3}
+	s.OnTimeout()
+	if s.Cwnd != 1 || s.Ssthresh != 4 || s.RTOUs != 200e3 || s.Backoff != 1 {
+		t.Fatalf("first timeout: cwnd=%v ssthresh=%v rto=%v backoff=%d", s.Cwnd, s.Ssthresh, s.RTOUs, s.Backoff)
+	}
+	s.OnTimeout()
+	if s.RTOUs != 300e3 || s.Backoff != 2 { // 400e3 clamped to the ceiling
+		t.Fatalf("second timeout: rto=%v backoff=%d, want 300000/2", s.RTOUs, s.Backoff)
+	}
+	s.OnAck(50e3)
+	if s.Backoff != 0 {
+		t.Fatalf("ACK must reset backoff, got %d", s.Backoff)
+	}
+	if s.RTOUs != 150e3 { // srtt + 4*rttvar = 50000 + 100000
+		t.Fatalf("post-ACK RTO=%v, want 150000", s.RTOUs)
+	}
+}
+
+// uplink builds one station with a Pull flow to its AP and attaches a
+// Conn.
+func uplink(seed int64, cfg Config) (*netsim.Network, *Conn) {
+	n := netsim.New(netsim.DefaultConfig(), seed)
+	b := n.AddAP("AP", 0, 0, 1)
+	st := n.AddStation(b, "sta", 5, 0)
+	f := n.Add(netsim.FlowSpec{From: st, AC: netsim.AC_BE, Gen: netsim.Pull{SegmentBytes: 1000}})
+	return n, Attach(f, cfg)
+}
+
+// TestUplinkTransferCompletes pushes 200 kB over the closed loop and
+// expects every byte acknowledged well inside the run.
+func TestUplinkTransferCompletes(t *testing.T) {
+	n, c := uplink(1, Config{})
+	doneAt := 0.0
+	c.OnStart = func() { c.Send(200_000, func(now float64) { doneAt = now }) }
+	res := n.Run(5e6)
+	if doneAt <= 0 || doneAt >= 5e6 {
+		t.Fatalf("transfer never completed (doneAt=%v)", doneAt)
+	}
+	if got := c.Stats().BytesAcked; got != 200_000 {
+		t.Fatalf("BytesAcked=%d, want 200000", got)
+	}
+	if res.Delivered == 0 || res.AggGoodputMbps <= 0 {
+		t.Fatalf("no MAC deliveries behind the transfer: %+v", res)
+	}
+	if c.SrttUs <= 0 {
+		t.Fatal("no RTT samples reached the estimator")
+	}
+}
+
+// TestTransfersCompleteInFIFOOrder: two Sends on one Conn acknowledge
+// in order, at nondecreasing times.
+func TestTransfersCompleteInFIFOOrder(t *testing.T) {
+	n, c := uplink(2, Config{})
+	var order []int
+	var times []float64
+	c.OnStart = func() {
+		c.Send(50_000, func(now float64) { order = append(order, 1); times = append(times, now) })
+		c.Send(50_000, func(now float64) { order = append(order, 2); times = append(times, now) })
+	}
+	n.Run(5e6)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("completion order %v, want [1 2]", order)
+	}
+	if times[1] < times[0] {
+		t.Fatalf("completion times out of order: %v", times)
+	}
+}
+
+// TestTinyQueueRecovers forces the queue-drop fate path: a 4-slot
+// queue under a 32-segment window overflows constantly, and the
+// scheduled retry pump must still land every byte without livelock.
+func TestTinyQueueRecovers(t *testing.T) {
+	cfg := netsim.DefaultConfig()
+	cfg.QueueLimit = 4
+	n := netsim.New(cfg, 3)
+	b := n.AddAP("AP", 0, 0, 1)
+	st := n.AddStation(b, "sta", 5, 0)
+	f := n.Add(netsim.FlowSpec{From: st, AC: netsim.AC_BE, Gen: netsim.Pull{SegmentBytes: 1000}})
+	c := Attach(f, Config{InitCwnd: 32, MaxCwnd: 32})
+	done := false
+	c.OnStart = func() { c.Send(100_000, func(float64) { done = true }) }
+	res := n.Run(5e6)
+	if !done {
+		t.Fatalf("transfer stalled behind queue drops: acked %d bytes, %d drops",
+			c.Stats().BytesAcked, res.QueueDrops)
+	}
+	if res.QueueDrops == 0 {
+		t.Fatal("scenario failed to exercise the queue-drop fate path")
+	}
+	if c.Cwnd >= 32 {
+		t.Fatalf("window never backed off under loss: cwnd=%v", c.Cwnd)
+	}
+}
+
+// TestRelayPathClosedLoop runs the two-hop STA↔AP↔STA path: fates are
+// end to end, so the loop closes over both hops.
+func TestRelayPathClosedLoop(t *testing.T) {
+	n := netsim.New(netsim.DefaultConfig(), 4)
+	b := n.AddAP("AP", 0, 0, 1)
+	s1 := n.AddStation(b, "s1", -5, 0)
+	s2 := n.AddStation(b, "s2", 5, 0)
+	f := n.Add(netsim.FlowSpec{From: s1, To: s2, AC: netsim.AC_BE, Gen: netsim.Pull{SegmentBytes: 1000}})
+	c := Attach(f, Config{})
+	done := false
+	c.OnStart = func() { c.Send(100_000, func(float64) { done = true }) }
+	n.Run(5e6)
+	if !done {
+		t.Fatalf("relay transfer incomplete: acked %d bytes", c.Stats().BytesAcked)
+	}
+}
+
+// TestDownlinkRoamClosedLoop keeps a continuous downlink stream toward
+// a station walking between two APs: the handoff repoints the flow's
+// injection node, and the loop must keep acknowledging across roams.
+func TestDownlinkRoamClosedLoop(t *testing.T) {
+	cfg := netsim.DefaultConfig()
+	cfg.RoamIntervalUs = 100e3
+	n := netsim.New(cfg, 5)
+	b1 := n.AddAP("AP1", 0, 0, 1)
+	n.AddAP("AP2", 160, 0, 1)
+	st := n.AddStation(b1, "walker", 5, 0)
+	n.SetVelocity(st, 30, 0)
+	f := n.Add(netsim.FlowSpec{From: b1.AP, To: st, AC: netsim.AC_BE, Gen: netsim.Pull{SegmentBytes: 1000}})
+	c := Attach(f, Config{})
+	var again func(float64)
+	again = func(float64) { c.Send(20_000, again) }
+	c.OnStart = func() { c.Send(20_000, again) }
+	res := n.Run(5e6)
+	if res.Roams == 0 {
+		t.Fatal("walker never roamed")
+	}
+	if c.Stats().BytesAcked < 100_000 {
+		t.Fatalf("closed loop starved across the roam: %d bytes acked", c.Stats().BytesAcked)
+	}
+}
+
+// TestClosedLoopDeterministicRepeat: identical seeds produce
+// bit-identical transport outcomes.
+func TestClosedLoopDeterministicRepeat(t *testing.T) {
+	run := func() (Stats, float64, int) {
+		n, c := uplink(7, Config{})
+		var again func(float64)
+		again = func(float64) { c.Send(30_000, again) }
+		c.OnStart = func() { c.Send(30_000, again) }
+		res := n.Run(2e6)
+		return c.Stats(), res.AggGoodputMbps, res.Delivered
+	}
+	s1, g1, d1 := run()
+	s2, g2, d2 := run()
+	if s1 != s2 || g1 != g2 || d1 != d2 {
+		t.Fatalf("closed-loop repeat diverged:\n%+v %v %d\n%+v %v %d", s1, g1, d1, s2, g2, d2)
+	}
+}

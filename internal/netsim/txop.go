@@ -262,7 +262,7 @@ func (nd *Node) applyBlockAck(tr *transmission, ok []bool) {
 		p.retries++
 		if p.retries > net.cfg.Dcf.RetryLimit {
 			sh.retryDrops[ac]++
-			p.flow.dropped(nd)
+			p.flow.dropped(p, nd)
 			continue
 		}
 		if delivered > 0 {
