@@ -75,6 +75,15 @@ func BenchmarkE24RtsCtsArf(b *testing.B)  { benchExperiment(b, "E24") }
 func BenchmarkE25EdcaQos(b *testing.B)    { benchExperiment(b, "E25") }
 func BenchmarkE26Ampdu(b *testing.B)      { benchExperiment(b, "E26") }
 
+// BenchmarkE30HtLadder covers the HT rate-adaptation subsystem end to
+// end: Minstrel's per-exchange verdict bookkeeping and EWMA sampling
+// over the 2-D MCS × width ladder on the single-link sweep, plus the
+// bonded-medium arbitration (fractional-overlap interference, span
+// carrier sense, per-span NAV) on the dense-floor comparison. The CI
+// gate holds its ns/op and allocs/op: rate control rides the existing
+// completion callbacks, so adapting must not add per-MPDU allocations.
+func BenchmarkE30HtLadder(b *testing.B) { benchExperiment(b, "E30") }
+
 // BenchmarkE27LargeFloor is the scale-push acceptance benchmark: one
 // 100-BSS co-channel floor in the high-density association profile (40
 // stations per BSS — 4100 nodes, one saturated sender per cell, the

@@ -13,6 +13,8 @@
 //	netsim -scenario hidden
 //	netsim -scenario hidden -rts 1     # RTS/CTS + NAV rescue
 //	netsim -scenario roam -arf         # per-frame rate fallback
+//	netsim -scenario dense -ht -minstrel -ampdu 32        # 802.11n HT ladder
+//	netsim -scenario dense -bond -minstrel -ampdu 32 -channels 1,5,9  # 40 MHz bonding
 //	netsim -scenario roam -downlink    # downlink queue follows the walker
 //	netsim -scenario dense -compare   # serial vs parallel wall-clock
 //	netsim -floor                      # 100-BSS high-density association floor (E27)
@@ -53,6 +55,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/linkmodel"
 	"repro/internal/mac"
 	"repro/internal/netsim"
 	"repro/internal/netsim/app"
@@ -86,6 +89,9 @@ func main() {
 	dataMbps := flag.Float64("data-mbps", 2, "offered load per data flow (mix)")
 	rts := flag.Int("rts", 0, "RTS/CTS threshold in payload bytes (1 = every frame, 0 = off)")
 	arf := flag.Bool("arf", false, "per-frame ARF rate adaptation instead of association-time mode selection")
+	ht := flag.Bool("ht", false, "802.11n HT rate ladder (MCS 0-7 x 1-2 spatial streams) instead of legacy OFDM")
+	bond := flag.Bool("bond", false, "40 MHz channel bonding: each BSS occupies {channel, channel+1} with partial-overlap interference between neighboring spans; implies -ht")
+	minstrel := flag.Bool("minstrel", false, "Minstrel EWMA-throughput sampling rate control over the rate ladder (pair with -ht for the 2-D MCS x width ladder)")
 	edca := flag.Bool("edca", false, "802.11e EDCA access categories (voice AC_VO, data AC_BE, background AC_BK) instead of legacy single-class DCF")
 	txop := flag.Bool("txop", false, "802.11e default per-AC TXOP limits (AC_VO 1.504 ms, AC_VI 3.008 ms): a winner chains SIFS-separated exchanges; requires -edca")
 	ampdu := flag.Int("ampdu", 0, "A-MPDU aggregation: max MPDUs per burst with Block-ACK partial retransmission (0 = off)")
@@ -198,8 +204,8 @@ func main() {
 	var scFile *scenario.File
 	if *configPath != "" {
 		for _, name := range []string{"scenario", "floor", "bss", "sta", "cols", "channels",
-			"payload", "data-mbps", "rts", "arf", "edca", "txop", "ampdu", "downlink",
-			"cs", "no-spatial", "shards", "sample-us"} {
+			"payload", "data-mbps", "rts", "arf", "ht", "bond", "minstrel", "edca", "txop",
+			"ampdu", "downlink", "cs", "no-spatial", "shards", "sample-us"} {
 			if set[name] {
 				fail("-%s cannot be combined with -config (the file owns the scenario shape; set it there)", name)
 			}
@@ -236,6 +242,23 @@ func main() {
 		a := mac.DefaultArf()
 		cfg.Arf = &a
 	}
+	if *bond {
+		*ht = true
+		cfg.ChannelWidthMHz = 40
+	}
+	if *ht {
+		w := 20
+		if *bond {
+			w = 40
+		}
+		cfg.Modes = linkmodel.HtModes(2, w)
+	}
+	if *minstrel {
+		if *arf {
+			fail("-minstrel and -arf are mutually exclusive rate controllers")
+		}
+		cfg.RateControl = "minstrel"
+	}
 	if *edca {
 		e := netsim.DefaultEdca(cfg.Dcf, cfg.QueueLimit)
 		if *txop {
@@ -250,6 +273,11 @@ func main() {
 	if *ampdu > 0 {
 		a := netsim.DefaultAggregation()
 		a.MaxAmpduFrames = *ampdu
+		if *ht {
+			// The HT PPDU duration cap (see netsim.HtConfig): keeps a
+			// Minstrel probe at the slowest MCS from monopolizing airtime.
+			a.MaxAmpduAirUs = 4000
+		}
 		cfg.Aggregation = &a
 	}
 	var build func(seed int64) *netsim.Network
@@ -451,6 +479,24 @@ func main() {
 			hist.AddRow(s, h[s])
 		}
 		tables = append(tables, hist)
+	}
+	if ma := results[0].ModeAttempts; len(ma) > 0 {
+		// Sorted by mode name so the table (and the CSV form) is
+		// deterministic run to run regardless of map iteration order.
+		names := make([]string, 0, len(ma))
+		for name := range ma {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		mt := report.Table{
+			ID:     "modes",
+			Title:  fmt.Sprintf("per-mode data attempts, seed %d", jobs[0].Seed),
+			Header: []string{"mode", "attempts"},
+		}
+		for _, name := range names {
+			mt.AddRow(name, ma[name])
+		}
+		tables = append(tables, mt)
 	}
 	if s := results[0].Samples; s != nil {
 		tables = append(tables, sampleTable(s, jobs[0].Seed))

@@ -15,7 +15,7 @@ func main() {
 	budget := channel.DefaultLinkBudget(20e6)
 	pl := channel.Model24GHz()
 	mk := func(opt linkmodel.HtOptions) linkmodel.Link {
-		return linkmodel.Link{Modes: linkmodel.HtModes(opt), Budget: budget, PathLoss: pl, Fading: true}
+		return linkmodel.Link{Modes: linkmodel.HtFamily(opt), Budget: budget, PathLoss: pl, Fading: true}
 	}
 	configs := []struct {
 		name string

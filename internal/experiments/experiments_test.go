@@ -489,3 +489,53 @@ func TestE29ClosedLoopSignature(t *testing.T) {
 		t.Errorf("voice MOS improved with load: %v -> %v", m0, mN)
 	}
 }
+
+func TestE30HtLadderShape(t *testing.T) {
+	// Default, not Quick: the Minstrel EWMA needs a few hundred
+	// milliseconds to converge at long range, and the monotonicity
+	// assertion below is about the controller's equilibrium, not its
+	// transient. Still runs in well under a second.
+	tables := E30HtRateAdaptation(Default())
+	if len(tables) != 2 {
+		t.Fatalf("%d tables, want ladder + bonding", len(tables))
+	}
+	ladder := tables[0]
+	// Columns: distance, minstrel HT, fixed OFDM 54, fixed MCS0, gain,
+	// top mode. The acceptance bar: with two streams, 40 MHz, and
+	// A-MPDU, the adapted HT link must at least double the best legacy
+	// rate at short range...
+	first, last := ladder.Rows[0], ladder.Rows[len(ladder.Rows)-1]
+	if ht, l54 := parse(t, first[1]), parse(t, first[2]); ht < 2*l54 {
+		t.Errorf("short-range HT goodput %v not >= 2x legacy 54 Mbps link's %v", ht, l54)
+	}
+	// ...decay monotonically as the controller walks down the ladder
+	// with distance (2% slack for Monte-Carlo jitter)...
+	prev := math.Inf(1)
+	for _, row := range ladder.Rows {
+		ht := parse(t, row[1])
+		if ht > prev*1.02 {
+			t.Errorf("%s m: adapted goodput %v rose above the closer-in %v", row[0], ht, prev)
+		}
+		prev = ht
+	}
+	// ...and never do worse at the far edge than parking on the most
+	// robust MCS (0.85 tolerance: sampling the faster rungs that keep
+	// failing costs Minstrel a little airtime).
+	if ht, robust := parse(t, last[1]), parse(t, last[3]); ht < 0.85*robust {
+		t.Errorf("at %s m adaptation (%v Mbps) underperforms fixed MCS0 (%v Mbps)", last[0], ht, robust)
+	}
+	// Bonding table: doubling the channel width must pay on an
+	// orthogonally-planned floor, and packing the same spans into
+	// partially overlapping channels must hand part of that win back.
+	bond := tables[1]
+	if len(bond.Rows) != 3 {
+		t.Fatalf("%d bonding rows, want 3", len(bond.Rows))
+	}
+	narrow, orth, overlap := parse(t, bond.Rows[0][2]), parse(t, bond.Rows[1][2]), parse(t, bond.Rows[2][2])
+	if orth <= narrow {
+		t.Errorf("orthogonal 40 MHz floor (%v Mbps) not above the 20 MHz floor (%v)", orth, narrow)
+	}
+	if overlap >= orth {
+		t.Errorf("overlapped spans (%v Mbps) not below orthogonal spans (%v): partial overlap cost vanished", overlap, orth)
+	}
+}

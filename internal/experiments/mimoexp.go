@@ -65,7 +65,7 @@ func E05Range(cfg Config) []report.Table {
 			opt.Beamform = true
 			opt.TxChains = rx
 		}
-		return linkmodel.Link{Modes: linkmodel.HtModes(opt), Budget: budget, PathLoss: pl, Fading: true}
+		return linkmodel.Link{Modes: linkmodel.HtFamily(opt), Budget: budget, PathLoss: pl, Fading: true}
 	}
 	t := report.Table{
 		ID:     "E5",

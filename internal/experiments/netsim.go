@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"repro/internal/linkmodel"
@@ -466,4 +467,125 @@ func E29ClosedLoopQoE(cfg Config) []report.Table {
 			qoe.P95PageLoadUs/1e3, qoe.RebufferRatio, qoe.MeanMOS, qdropRate)
 	}
 	return []report.Table{t}
+}
+
+// E30HtRateAdaptation is the paper's 802.11n "future" section made
+// quantitative, in two exhibits. The first walks a single saturated
+// link outward while Minstrel samples the 2-D HT ladder (MCS 0-7 x 1-2
+// streams x 20/40 MHz): at short range the wide two-stream modes
+// deliver a multiple of the best legacy OFDM rate, the goodput decays
+// monotonically with distance as the controller walks down the ladder,
+// and at the far edge it must never do worse than parking on the most
+// robust MCS — the whole point of rate adaptation. The second exhibit
+// prices 40 MHz channel bonding on a dense floor: doubling the width
+// doubles per-BSS capacity while spans stay orthogonal, but packing
+// the same spans into partially overlapping channels hands part of
+// that win back as cross-span interference.
+func E30HtRateAdaptation(cfg Config) []report.Table {
+	durationUs := float64(cfg.Frames) * 8000
+	const payload = 1500
+
+	run := func(c netsim.Config, distM float64, baseSeed int64) (float64, map[string]int) {
+		build := func(seed int64) *netsim.Network {
+			n := netsim.New(c, seed)
+			b := n.AddAP("AP", 0, 0, 1)
+			st := n.AddStation(b, "sta", distM, 0)
+			n.Add(netsim.FlowSpec{From: st, AC: netsim.AC_BE,
+				Gen: netsim.Saturated{PayloadBytes: payload}})
+			return n
+		}
+		jobs := netsim.SeedSweep("ht", build, durationUs, baseSeed, netsimSeeds)
+		results := netsim.ScenarioRunner{Workers: 4}.RunAll(jobs)
+		counts := map[string]int{}
+		for _, r := range results {
+			for name, n := range r.ModeAttempts {
+				counts[name] += n
+			}
+		}
+		return netsim.MeanAggGoodput(results), counts
+	}
+
+	// Minstrel over the full 2-stream 40 MHz ladder (HtConfig bundles
+	// the A-MPDU setting and the PPDU airtime cap).
+	htCfg := netsim.HtConfig(2, 40)
+
+	// The fixed contenders carry the same aggregation setting so the
+	// comparison is about rate selection, not MAC efficiency.
+	agg := *htCfg.Aggregation
+	legacy54 := netsim.DefaultConfig()
+	for _, m := range linkmodel.OfdmModes() {
+		if m.RateMbps == 54 {
+			legacy54.Modes = []linkmodel.Mode{m}
+		}
+	}
+	legacy54.Aggregation = &agg
+	robust := netsim.DefaultConfig()
+	robust.Modes = linkmodel.HtModes(2, 40)[:1] // the ladder head: MCS0 1ss 20 MHz
+	robust.Aggregation = &agg
+
+	ladder := report.Table{
+		ID:     "E30",
+		Title:  "HT rate adaptation: Minstrel on the MCS x width ladder vs fixed rates, single link",
+		Note:   "new subsystem: the 2-D (MCS x width) ladder beats the best legacy rate up close and never loses to the most robust MCS at the edge",
+		Header: []string{"distance m", "minstrel HT Mbps", "fixed OFDM 54 Mbps", "fixed MCS0 Mbps", "HT gain", "top mode"},
+	}
+	for _, distM := range []float64{5, 15, 30, 50, 80, 110} {
+		ht, counts := run(htCfg, distM, cfg.Seed*9000)
+		l54, _ := run(legacy54, distM, cfg.Seed*9000)
+		mcs0, _ := run(robust, distM, cfg.Seed*9000)
+		top, topCount := "", 0
+		for _, m := range htCfg.Modes { // deterministic tie-break order
+			if c := counts[m.Name]; c > topCount {
+				top, topCount = m.Name, c
+			}
+		}
+		gain := report.FormatRatio(ht / l54)
+		if l54 == 0 {
+			gain = "-" // 54 Mbps cannot close the link at all out here
+		}
+		ladder.AddRow(distM, ht, l54, mcs0, gain, top)
+	}
+
+	bond := report.Table{
+		ID:    "E30b",
+		Title: "40 MHz bonding on a dense floor: orthogonal spans double capacity, partial overlap hands some back",
+		Note:  "new subsystem: a 40 MHz span occupies two 20 MHz channels; overlapping-but-not-identical spans trade fractional interference for the wider pipe",
+		// Collisions count lost MPDUs while attempts count A-MPDU
+		// exchanges, so the last column is MPDUs lost per exchange (a
+		// collided burst forfeits the whole aggregate), not a rate in
+		// [0,1].
+		Header: []string{"floor", "channels", "agg Mbps", "per-BSS Mbps", "coll MPDUs/attempt"},
+	}
+	const nBSS, staPerBSS = 6, 3
+	for _, row := range []struct {
+		label    string
+		widthMHz int
+		channels []int
+	}{
+		// Same floor three ways: 20 MHz on the classic orthogonal set,
+		// 40 MHz with spans {1,2}/{5,6}/{9,10} still orthogonal, and
+		// 40 MHz squeezed into {1,2}/{2,3}/{3,4} where neighbors share
+		// a 20 MHz slot.
+		{"20 MHz", 20, []int{1, 5, 9}},
+		{"40 MHz orthogonal", 40, []int{1, 5, 9}},
+		{"40 MHz overlapped", 40, []int{1, 2, 3}},
+	} {
+		c := netsim.HtConfig(2, row.widthMHz)
+		build := netsim.DenseGrid(c, nBSS, staPerBSS, row.channels, 20, payload)
+		jobs := netsim.SeedSweep("bond", build, durationUs, cfg.Seed*9500, netsimSeeds)
+		results := netsim.ScenarioRunner{Workers: 4}.RunAll(jobs)
+		var collRate float64
+		for _, r := range results {
+			if r.Attempts > 0 {
+				collRate += float64(r.Collisions) / float64(r.Attempts) / float64(len(results))
+			}
+		}
+		chans := make([]string, len(row.channels))
+		for i, ch := range row.channels {
+			chans[i] = fmt.Sprintf("%d", ch)
+		}
+		agg := netsim.MeanAggGoodput(results)
+		bond.AddRow(row.label, strings.Join(chans, "/"), agg, agg/nBSS, collRate)
+	}
+	return []report.Table{ladder, bond}
 }

@@ -10,6 +10,7 @@ package linkmodel
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/channel"
 	"repro/internal/mathx"
@@ -189,11 +190,11 @@ type HtOptions struct {
 	TxChains int  // used for the beamforming gain; defaults to Streams
 }
 
-// HtModes returns the eight per-stream-MCS link modes for the option set.
+// HtFamily returns the eight per-stream-MCS link modes for the option set.
 // Diversity order reflects the receive-side spatial degrees of freedom
 // left after separating the streams (NRx - Nss + 1); beamforming adds the
 // transmit array gain on top.
-func HtModes(opt HtOptions) []Mode {
+func HtFamily(opt HtOptions) []Mode {
 	if opt.Streams < 1 || opt.Streams > 4 {
 		panic("linkmodel: streams must be 1..4")
 	}
@@ -238,6 +239,41 @@ func HtModes(opt HtOptions) []Mode {
 			Streams:        opt.Streams,
 		})
 	}
+	return out
+}
+
+// HtModes returns the full 802.11n rate-adaptation ladder for a device
+// with nss spatial streams at the given operating channel width: MCS 0-7
+// for every stream count 1..nss, at 20 MHz and — when widthMHz is 40 —
+// also at 40 MHz. Receive chains are direct-mapped (RxChains = Streams),
+// so each entry's SnrReqDB is the calibratable AWGN threshold the phy
+// package measures, with no diversity or array-gain margin folded in.
+// The ladder is sorted slowest-first (ties broken most-robust-first),
+// which keeps index 0 the most robust entry for fallback seeding and
+// gives rate controllers a monotone rate axis to walk.
+func HtModes(nss, widthMHz int) []Mode {
+	if nss < 1 || nss > 4 {
+		panic("linkmodel: HtModes streams must be 1..4")
+	}
+	if widthMHz != 20 && widthMHz != 40 {
+		panic("linkmodel: HtModes width must be 20 or 40 MHz")
+	}
+	widths := []bool{false}
+	if widthMHz == 40 {
+		widths = append(widths, true)
+	}
+	var out []Mode
+	for _, w40 := range widths {
+		for s := 1; s <= nss; s++ {
+			out = append(out, HtFamily(HtOptions{Streams: s, RxChains: s, Width40: w40})...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].RateMbps != out[j].RateMbps {
+			return out[i].RateMbps < out[j].RateMbps
+		}
+		return out[i].SnrReqDB < out[j].SnrReqDB
+	})
 	return out
 }
 

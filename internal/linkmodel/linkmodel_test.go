@@ -32,7 +32,7 @@ func TestPERAwgnShape(t *testing.T) {
 func TestThresholdOrdering(t *testing.T) {
 	// Within every family, faster modes need more SNR.
 	families := [][]Mode{DsssModes(), CckModes(), OfdmModes(),
-		HtModes(HtOptions{Streams: 1, RxChains: 1})}
+		HtFamily(HtOptions{Streams: 1, RxChains: 1})}
 	for _, modes := range families {
 		for i := 1; i < len(modes); i++ {
 			if modes[i].SnrReqDB <= modes[i-1].SnrReqDB {
@@ -51,7 +51,7 @@ func TestGenerationalEfficiency(t *testing.T) {
 	dsss := DsssModes()[1]
 	cck := CckModes()[1]
 	ofdm := OfdmModes()[7]
-	ht := HtModes(HtOptions{Streams: 4, RxChains: 4, Width40: true, ShortGI: true})[7]
+	ht := HtFamily(HtOptions{Streams: 4, RxChains: 4, Width40: true, ShortGI: true})[7]
 	se := func(m Mode) float64 { return m.RateMbps / m.BandwidthMHz }
 	if se(dsss) != 0.1 {
 		t.Errorf("DSSS efficiency %v", se(dsss))
@@ -71,8 +71,8 @@ func TestGenerationalEfficiency(t *testing.T) {
 }
 
 func TestLDPCNeedsLessSNR(t *testing.T) {
-	bcc := HtModes(HtOptions{Streams: 1, RxChains: 1})
-	ldpc := HtModes(HtOptions{Streams: 1, RxChains: 1, LDPC: true})
+	bcc := HtFamily(HtOptions{Streams: 1, RxChains: 1})
+	ldpc := HtFamily(HtOptions{Streams: 1, RxChains: 1, LDPC: true})
 	for i := range bcc {
 		if ldpc[i].SnrReqDB >= bcc[i].SnrReqDB {
 			t.Errorf("MCS%d: LDPC threshold %.1f not below BCC %.1f", i, ldpc[i].SnrReqDB, bcc[i].SnrReqDB)
@@ -192,8 +192,8 @@ func TestRangeForRateUnreachable(t *testing.T) {
 func TestMimoRangeExtension(t *testing.T) {
 	// The paper's E5 claim in miniature: a 4x4 MIMO link reaches several
 	// times farther than SISO at the same minimum rate, in fading.
-	siso := defaultLink(HtModes(HtOptions{Streams: 1, RxChains: 1}), true)
-	mimo := defaultLink(HtModes(HtOptions{Streams: 1, RxChains: 4}), true)
+	siso := defaultLink(HtFamily(HtOptions{Streams: 1, RxChains: 1}), true)
+	mimo := defaultLink(HtFamily(HtOptions{Streams: 1, RxChains: 4}), true)
 	rSiso := siso.RangeForRate(6)
 	rMimo := mimo.RangeForRate(6)
 	if ratio := rMimo / rSiso; ratio < 1.5 {
@@ -206,17 +206,73 @@ func TestHtModesValidation(t *testing.T) {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("HtModes(%+v) should panic", bad)
+					t.Errorf("HtFamily(%+v) should panic", bad)
 				}
 			}()
-			HtModes(bad)
+			HtFamily(bad)
+		}()
+	}
+}
+
+func TestHtModesLadder(t *testing.T) {
+	cases := []struct {
+		nss, width, want int
+	}{
+		{1, 20, 8}, {2, 20, 16}, {1, 40, 16}, {2, 40, 32}, {4, 40, 64},
+	}
+	for _, tc := range cases {
+		modes := HtModes(tc.nss, tc.width)
+		if len(modes) != tc.want {
+			t.Fatalf("HtModes(%d, %d) has %d entries, want %d",
+				tc.nss, tc.width, len(modes), tc.want)
+		}
+		for i, m := range modes {
+			if m.Streams < 1 || m.Streams > tc.nss {
+				t.Errorf("entry %q has %d streams, ladder is %dss", m.Name, m.Streams, tc.nss)
+			}
+			if tc.width == 20 && m.BandwidthMHz != 20 {
+				t.Errorf("entry %q is %v MHz in a 20 MHz ladder", m.Name, m.BandwidthMHz)
+			}
+			// Direct-mapped chains: no diversity or array-gain margin —
+			// SnrReqDB must be the bare calibratable AWGN threshold.
+			if m.DiversityOrder != 1 || m.ArrayGainDB != 0 {
+				t.Errorf("entry %q carries margin (div %d, gain %v dB)",
+					m.Name, m.DiversityOrder, m.ArrayGainDB)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := modes[i-1]
+			if m.RateMbps < prev.RateMbps ||
+				(m.RateMbps == prev.RateMbps && m.SnrReqDB < prev.SnrReqDB) {
+				t.Errorf("ladder not sorted slowest-first at %d: %q after %q", i, m.Name, prev.Name)
+			}
+		}
+		// Index 0 must be the globally most robust entry.
+		for _, m := range modes {
+			if m.SnrReqDB < modes[0].SnrReqDB {
+				t.Errorf("entry %q is more robust than ladder head %q", m.Name, modes[0].Name)
+			}
+		}
+	}
+	if modes := HtModes(2, 40); modes[0].Name != "HT MCS0 1ss BCC 20MHz" {
+		t.Errorf("40 MHz ladder head is %q, want the 20 MHz 1ss MCS0 fallback", modes[0].Name)
+	}
+	for _, bad := range [][2]int{{0, 20}, {5, 20}, {2, 30}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HtModes(%d, %d) should panic", bad[0], bad[1])
+				}
+			}()
+			HtModes(bad[0], bad[1])
 		}()
 	}
 }
 
 func TestBeamformGain(t *testing.T) {
-	open := HtModes(HtOptions{Streams: 1, RxChains: 2})
-	bf := HtModes(HtOptions{Streams: 1, RxChains: 2, Beamform: true, TxChains: 2})
+	open := HtFamily(HtOptions{Streams: 1, RxChains: 2})
+	bf := HtFamily(HtOptions{Streams: 1, RxChains: 2, Beamform: true, TxChains: 2})
 	if bf[0].ArrayGainDB <= open[0].ArrayGainDB {
 		t.Error("beamforming should add transmit array gain")
 	}

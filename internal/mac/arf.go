@@ -88,6 +88,20 @@ func (a *ArfController) OnFailure() {
 	}
 }
 
+// OnVerdict adapts an aggregate A-MPDU delivery verdict onto the ARF
+// state machine: any delivered MPDU counts as a success (the Block-ACK
+// proved the rate workable), a fully lost burst as one failure.
+func (a *ArfController) OnVerdict(delivered, total int) {
+	if total <= 0 {
+		return
+	}
+	if delivered > 0 {
+		a.OnSuccess()
+	} else {
+		a.OnFailure()
+	}
+}
+
 // ArfResult reports the outcome of an adaptation run.
 type ArfResult struct {
 	FramesSent    int

@@ -1,0 +1,133 @@
+package mac
+
+import "testing"
+
+// drive feeds n verdicts where entry i delivers with probability
+// per[i], using a deterministic success pattern: successRate out of 10
+// MPDUs per burst.
+func driveMinstrel(c *MinstrelController, n int, deliveredOf10 func(idx int) int) {
+	for i := 0; i < n; i++ {
+		idx := c.ModeIndex()
+		c.OnVerdict(deliveredOf10(idx), 10)
+	}
+}
+
+func TestMinstrelConvergesToBestThroughput(t *testing.T) {
+	// Ladder 6/12/24/54; 24 delivers 90%, 54 only 10% — best expected
+	// throughput is 24 * 0.9 = 21.6, well above 54 * 0.1.
+	rates := []float64{6, 12, 24, 54}
+	c := NewMinstrelController(DefaultMinstrel(), rates, 0)
+	deliver := func(idx int) int {
+		switch idx {
+		case 3:
+			return 1
+		default:
+			return 9
+		}
+	}
+	driveMinstrel(c, 200, deliver)
+	counts := make([]int, len(rates))
+	for i := 0; i < 100; i++ {
+		idx := c.ModeIndex()
+		counts[idx]++
+		c.OnVerdict(deliver(idx), 10)
+	}
+	if best := c.best; best != 2 {
+		t.Fatalf("converged to entry %d, want 2 (24 Mbps at 90%%)", best)
+	}
+	if counts[2] < 80 {
+		t.Fatalf("steady state served entry 2 only %d/100 frames", counts[2])
+	}
+	// Sampling must still happen, but within the lookaround budget.
+	if probes := 100 - counts[2]; probes == 0 || probes > 20 {
+		t.Fatalf("probe budget off: %d probes in 100 frames", probes)
+	}
+}
+
+func TestMinstrelFallsBackWhenChannelDegrades(t *testing.T) {
+	rates := []float64{6, 12, 24, 54}
+	c := NewMinstrelController(DefaultMinstrel(), rates, 3)
+	// Phase 1: everything delivers; the controller should sit at 54.
+	driveMinstrel(c, 100, func(int) int { return 10 })
+	if c.best != 3 {
+		t.Fatalf("clean channel best %d, want 3", c.best)
+	}
+	// Phase 2: only the most robust entry still delivers.
+	driveMinstrel(c, 200, func(idx int) int {
+		if idx == 0 {
+			return 10
+		}
+		return 0
+	})
+	if c.best != 0 {
+		t.Fatalf("degraded channel best %d, want 0", c.best)
+	}
+}
+
+func TestMinstrelAllDeadPicksMostRobust(t *testing.T) {
+	c := NewMinstrelController(DefaultMinstrel(), []float64{6, 12, 24}, 2)
+	driveMinstrel(c, 120, func(int) int { return 0 })
+	if c.best != 0 {
+		t.Fatalf("all-dead ladder best %d, want the most robust entry 0", c.best)
+	}
+}
+
+func TestMinstrelDeterministic(t *testing.T) {
+	run := func() []int {
+		c := NewMinstrelController(DefaultMinstrel(), []float64{6, 12, 24, 54}, 1)
+		seq := make([]int, 300)
+		for i := range seq {
+			seq[i] = c.ModeIndex()
+			// A fixed, state-free outcome pattern.
+			c.OnVerdict([]int{10, 9, 7, 2}[seq[i]], 10)
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at frame %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMinstrelValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty ladder": func() { NewMinstrelController(DefaultMinstrel(), nil, 0) },
+		"bad weight":   func() { NewMinstrelController(MinstrelConfig{EwmaWeight: 1.5, SampleEvery: 8}, []float64{6}, 0) },
+		"bad sample":   func() { NewMinstrelController(MinstrelConfig{EwmaWeight: 0.25, SampleEvery: 1}, []float64{6}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	// Start index clamps instead of panicking, like ArfController.
+	c := NewMinstrelController(DefaultMinstrel(), []float64{6, 12}, 99)
+	if c.ModeIndex() != 1 {
+		t.Errorf("start index did not clamp to the ladder top")
+	}
+}
+
+func TestArfOnVerdictMatchesAggregateRule(t *testing.T) {
+	// OnVerdict must reproduce the historical netsim rule exactly:
+	// delivered > 0 counts as one success, a dead burst as one failure.
+	a := NewArfController(DefaultArf(), 8, 3)
+	b := NewArfController(DefaultArf(), 8, 3)
+	outcomes := []int{5, 0, 10, 0, 0, 1, 0, 0, 3, 10, 10, 10, 0}
+	for _, d := range outcomes {
+		a.OnVerdict(d, 10)
+		if d > 0 {
+			b.OnSuccess()
+		} else {
+			b.OnFailure()
+		}
+		if a.ModeIndex() != b.ModeIndex() {
+			t.Fatalf("OnVerdict diverged from the success/failure rule at delivered=%d", d)
+		}
+	}
+}

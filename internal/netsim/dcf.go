@@ -362,28 +362,60 @@ func (q *acQueue) bankElapsedSlots() bool {
 	return true
 }
 
-// dataMode picks the rate for the head-of-line frame: the per-frame ARF
-// controller when rate adaptation is on, otherwise the memoized
-// median-SNR table lookup.
-func (nd *Node) dataMode(rx *Node) linkmodel.Mode {
-	if nd.net.cfg.Arf == nil {
-		return nd.sh.linkMode(nd, rx)
-	}
-	return nd.net.cfg.Modes[nd.arfFor(rx).ModeIndex()]
+// rateController is the per-destination adaptation state machine a node
+// feeds frame outcomes: mac.ArfController and mac.MinstrelController
+// both satisfy it. ModeIndex is consulted once per built exchange;
+// OnSuccess/OnFailure report single-frame outcomes and OnVerdict the
+// aggregate delivered-of-total Block-ACK verdict of an A-MPDU burst.
+// RTS losses are reported to none of them — the data rate was never
+// tested, and keeping collision losses out of the rate decision is
+// exactly what RTS/CTS buys an adapting sender.
+type rateController interface {
+	ModeIndex() int
+	OnSuccess()
+	OnFailure()
+	OnVerdict(delivered, total int)
 }
 
-// arfFor returns the node's rate controller toward rx, seeding a new
-// one from the median-SNR selection on first use (a roam to a new AP
-// therefore starts from a sensible rate rather than the table bottom).
-func (nd *Node) arfFor(rx *Node) *mac.ArfController {
-	if nd.arf == nil {
-		nd.arf = make(map[int]*mac.ArfController)
+// Dispatch constants for Network.rcKind, resolved from
+// Config.RateControl at New time.
+const (
+	rcFixed = iota
+	rcArf
+	rcMinstrel
+)
+
+// dataMode picks the rate for the head-of-line frame: the per-frame
+// rate controller when adaptation is on, otherwise the memoized
+// median-SNR table lookup.
+func (nd *Node) dataMode(rx *Node) linkmodel.Mode {
+	c := nd.rcFor(rx)
+	if c == nil {
+		return nd.sh.linkMode(nd, rx)
 	}
-	c := nd.arf[rx.id]
+	return nd.net.cfg.Modes[c.ModeIndex()]
+}
+
+// rcFor returns the node's rate controller toward rx — nil under fixed
+// selection — seeding a new one from the median-SNR selection on first
+// use (a roam to a new AP therefore starts from a sensible rate rather
+// than the table bottom).
+func (nd *Node) rcFor(rx *Node) rateController {
+	if nd.net.rcKind == rcFixed {
+		return nil
+	}
+	if nd.rc == nil {
+		nd.rc = make(map[int]rateController)
+	}
+	c := nd.rc[rx.id]
 	if c == nil {
 		start := nd.net.modeIndex(nd.sh.linkMode(nd, rx))
-		c = mac.NewArfController(*nd.net.cfg.Arf, len(nd.net.cfg.Modes), start)
-		nd.arf[rx.id] = c
+		if nd.net.rcKind == rcArf {
+			c = mac.NewArfController(*nd.net.cfg.Arf, len(nd.net.cfg.Modes), start)
+		} else {
+			c = mac.NewMinstrelController(*nd.net.cfg.Minstrel, nd.net.rcRates, start)
+		}
+		nd.rc[rx.id] = c
 	}
 	return c
 }
@@ -577,8 +609,8 @@ func (nd *Node) complete(tr *transmission) {
 			SinrDB: nd.med.sinrDB(tr), Mode: tr.mode.Name})
 	}
 	if !ok {
-		if net.cfg.Arf != nil {
-			nd.arfFor(tr.rx).OnFailure()
+		if c := nd.rcFor(tr.rx); c != nil {
+			c.OnFailure()
 		}
 		nd.fail(tr)
 		return
@@ -589,8 +621,8 @@ func (nd *Node) complete(tr *transmission) {
 		q.queue = q.queue[1:]
 		q.cw = q.params().CWMin
 		q.retries = 0
-		if net.cfg.Arf != nil {
-			nd.arfFor(tr.rx).OnSuccess()
+		if c := nd.rcFor(tr.rx); c != nil {
+			c.OnSuccess()
 		}
 		f := tr.pkt.flow
 		if f.viaAP() && tr.rx.ap {

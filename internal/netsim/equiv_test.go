@@ -3,6 +3,8 @@ package netsim
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/linkmodel"
 )
 
 // The spatial-index equivalence harness. The grid in spatial.go is a
@@ -70,6 +72,20 @@ func equivScenarios() []struct {
 		{"large-floor-reuse", 3e4, func(cfg Config) func(int64) *Network {
 			cfg.CSThresholdDBm = -62 // OBSS-PD-style spatial reuse
 			return LargeFloor(cfg, 36, 2, 6, 1)
+		}},
+		// HT + 40 MHz bonding on deliberately overlapping channels
+		// {1,2,3}: every adjacent pair shares one 20 MHz slot, so the
+		// fractional-interference path (overlapFrac < 1), the half-power
+		// CS rule, and the full-cover NAV rule all run hot — the index
+		// must agree with the oracle under partial spectral overlap too.
+		{"ht-bonded-overlap", 1e5, func(cfg Config) func(int64) *Network {
+			cfg.Modes = linkmodel.HtModes(2, 40)
+			cfg.ChannelWidthMHz = 40
+			cfg.RateControl = "minstrel"
+			agg := DefaultAggregation()
+			agg.MaxAmpduAirUs = 4000
+			cfg.Aggregation = &agg
+			return DenseGrid(cfg, 6, 3, []int{1, 2, 3}, 25, 1200)
 		}},
 	}
 }

@@ -7,10 +7,16 @@ import (
 )
 
 // medium is one radio channel: the set of nodes tuned to it and the
-// transmissions currently on the air. BSSs on different channels get
-// independent media (adjacent-channel leakage is not modelled), so
-// co-channel deployments contend and overlap while channel-separated
-// ones do not.
+// transmissions currently on the air. In the legacy 20 MHz model BSSs
+// on different channels get independent media, so co-channel
+// deployments contend and overlap while channel-separated ones do not.
+// With Config.ChannelWidthMHz 40 a medium is one spectrally connected
+// component of bonded spans (Network.chanRoot): every BSS whose
+// {Channel, Channel+1} span chains into the component shares the event
+// timeline, and each transmission carries its own slot span so
+// partially overlapping frames cross fractional interference while
+// disjoint ones (bridged into the component by an intermediate
+// channel) cross none.
 type medium struct {
 	net *Network
 	// sh is the shard whose engine carries every event this medium's
@@ -20,6 +26,11 @@ type medium struct {
 	channel int
 	nodes   []*Node
 	active  []*transmission
+
+	// bonded mirrors Config.ChannelWidthMHz == 40: channel is then a
+	// component root rather than a literal channel, and the hot paths
+	// apply per-pair slot-overlap fractions.
+	bonded bool
 
 	// grid is the spatial index over node positions (spatial.go); nil
 	// when Config.DisableSpatialIndex keeps the brute-force scan as the
@@ -83,6 +94,12 @@ type transmission struct {
 	pkt     *packet
 	mode    linkmodel.Mode
 	startUs float64
+
+	// chLo / chW are the frame's occupied 20 MHz slot span [chLo,
+	// chLo+chW): the sender's primary channel, two slots wide when a
+	// bonded medium carries a 40 MHz mode. Always width 1 on legacy
+	// media, where every co-medium frame shares the one channel.
+	chLo, chW int
 
 	// ex is the frame exchange this transmission belongs to (set on RTS
 	// and data frames; pkt is its first MPDU). The CTS, sent by the
@@ -243,6 +260,35 @@ func (m *medium) getBuf() []*Node {
 	return nil
 }
 
+// halfSlotDB is 10·log10(1/2): the power penalty when only one of a 40
+// MHz transmission's two slots lands in a listener's operating span.
+const halfSlotDB = -3.0102999566398121
+
+// slotOverlap counts the 20 MHz slots spans [aLo, aLo+aW) and
+// [bLo, bLo+bW) share.
+func slotOverlap(aLo, aW, bLo, bW int) int {
+	lo := max(aLo, bLo)
+	hi := min(aLo+aW, bLo+bW)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// overlapFrac is the fraction of intf's transmit power that lands in
+// victim's occupied span: a transmitter spreads its power evenly over
+// its own chW slots and the victim's receiver integrates only the
+// shared ones. Exactly 1 on legacy media (both spans are the single
+// shared channel), 0 for spectrally disjoint frames that share a
+// bonded component only through an intermediate channel.
+func overlapFrac(intf, victim *transmission, bonded bool) float64 {
+	if !bonded {
+		return 1
+	}
+	return float64(slotOverlap(intf.chLo, intf.chW, victim.chLo, victim.chW)) /
+		float64(intf.chW)
+}
+
 func (m *medium) putBuf(b []*Node) { m.bufs = append(m.bufs, b) }
 
 // start puts tr on the air: it crosses interference with every active
@@ -251,6 +297,10 @@ func (m *medium) putBuf(b []*Node) { m.bufs = append(m.bufs, b) }
 // the pause callback, which re-enters start — that recursion is the
 // collision mechanism, not a bug.
 func (m *medium) start(tr *transmission) {
+	tr.chLo, tr.chW = tr.tx.bss.Channel, 1
+	if m.bonded && tr.mode.BandwidthMHz > 20 {
+		tr.chW = 2
+	}
 	if len(m.active) == 0 {
 		m.busyStartUs = m.sh.eng.Now()
 	} else if len(m.active) == 1 {
@@ -274,17 +324,21 @@ func (m *medium) start(tr *transmission) {
 			a.doomed = true
 		}
 		if a.rx != tr.tx {
-			mw := m.net.rxPowerMw(tr.tx, a.rx)
-			a.addInterference(mw)
-			if snap {
-				tr.contrib = append(tr.contrib, contribution{a, mw})
+			if f := overlapFrac(tr, a, m.bonded); f > 0 {
+				mw := m.net.rxPowerMw(tr.tx, a.rx) * f
+				a.addInterference(mw)
+				if snap {
+					tr.contrib = append(tr.contrib, contribution{a, mw})
+				}
 			}
 		}
 		if a.tx != tr.rx {
-			mw := m.net.rxPowerMw(a.tx, tr.rx)
-			tr.addInterference(mw)
-			if snap {
-				a.contrib = append(a.contrib, contribution{tr, mw})
+			if f := overlapFrac(a, tr, m.bonded); f > 0 {
+				mw := m.net.rxPowerMw(a.tx, tr.rx) * f
+				tr.addInterference(mw)
+				if snap {
+					a.contrib = append(a.contrib, contribution{tr, mw})
+				}
 			}
 		}
 	}
@@ -307,7 +361,22 @@ func (m *medium) start(tr *transmission) {
 		if nd == tr.tx || !nd.csTracked {
 			continue
 		}
-		if m.net.rxPowerDBm(tr.tx, nd) >= m.net.cfg.CSThresholdDBm {
+		p := m.net.rxPowerDBm(tr.tx, nd)
+		if m.bonded {
+			// Energy detect integrates the listener's whole 40 MHz
+			// operating span {Channel, Channel+1}: a frame overlapping
+			// one of its two slots arrives at half power, a disjoint
+			// one not at all. Fractions only lower the power, so the
+			// csRangeM-sized grid cells stay a conservative superset.
+			ov := slotOverlap(tr.chLo, tr.chW, nd.bss.Channel, 2)
+			if ov == 0 {
+				continue
+			}
+			if ov < tr.chW {
+				p += halfSlotDB
+			}
+		}
+		if p >= m.net.cfg.CSThresholdDBm {
 			tr.sensed = append(tr.sensed, nd)
 			nd.busyCount++
 			if nd.busyCount == 1 {
@@ -328,6 +397,12 @@ func (m *medium) start(tr *transmission) {
 		cands, pooled := m.navCandidates(tr.tx)
 		for _, nd := range cands {
 			if nd == tr.tx || nd == tr.rx || nd.transmitting {
+				continue
+			}
+			if m.bonded && slotOverlap(tr.chLo, tr.chW, nd.bss.Channel, 2) < tr.chW {
+				// Decoding the duration field needs the whole frame:
+				// a listener whose operating span does not cover the
+				// frame's slots cannot adopt its reservation.
 				continue
 			}
 			if m.net.linkSNRdB(tr.tx, nd) >= need && nd.setNav(tr.navUntilUs) {
@@ -370,10 +445,14 @@ func (m *medium) finish(tr *transmission) {
 			}
 		}
 	} else {
-		// Static gains: the matrix still holds exactly what start added.
+		// Static gains: the matrix still holds exactly what start added
+		// (channels never change without mobility, so the overlap
+		// fraction recomputes identically too).
 		for _, a := range m.active {
 			if a.rx != tr.tx {
-				a.subInterference(m.net.rxPowerMw(tr.tx, a.rx))
+				if f := overlapFrac(tr, a, m.bonded); f > 0 {
+					a.subInterference(m.net.rxPowerMw(tr.tx, a.rx) * f)
+				}
 			}
 		}
 	}
@@ -407,9 +486,14 @@ func (m *medium) succeeds(tr *transmission) bool {
 
 // sinrDB is the worst-overlap SINR the frame was received at — the
 // figure every MPDU of an A-MPDU burst is judged against individually.
+// A two-slot (40 MHz) frame integrates twice the noise bandwidth, the
+// 3 dB sensitivity cost that makes bonding a real tradeoff at range;
+// the mode thresholds themselves are width-independent per-symbol
+// figures (linkmodel.HtModes), so the penalty lives here.
 func (m *medium) sinrDB(tr *transmission) float64 {
 	sigMw := m.net.rxPowerMw(tr.tx, tr.rx)
-	return 10 * math.Log10(sigMw/(m.net.noiseFloorMw+tr.maxIntfMw))
+	noiseMw := m.net.noiseFloorMw * float64(tr.chW)
+	return 10 * math.Log10(sigMw/(noiseMw+tr.maxIntfMw))
 }
 
 // interfered reports whether the frame saw meaningful co-channel

@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/channel"
@@ -112,6 +113,38 @@ type Config struct {
 	// draws no Block-ACK at all is a failure.
 	Arf *mac.ArfConfig
 
+	// RateControl names the per-destination rate-adaptation scheme:
+	//
+	//   ""         legacy resolution — ARF when Arf is set, fixed
+	//              association-time selection otherwise (bit-identical
+	//              to every earlier release);
+	//   "fixed"    association-time median-SNR selection, even when Arf
+	//              is also set;
+	//   "arf"      mac.ArfController per destination (Arf fills in
+	//              mac.DefaultArf when nil);
+	//   "minstrel" mac.MinstrelController per destination — EWMA
+	//              throughput sampling over the whole Modes ladder, the
+	//              scheme built for the 2-D HT (MCS x width) tables,
+	//              fed the per-A-MPDU delivery verdict from each
+	//              Block-ACK bitmap.
+	RateControl string
+
+	// Minstrel tunes the "minstrel" controller; nil uses
+	// mac.DefaultMinstrel.
+	Minstrel *mac.MinstrelConfig
+
+	// ChannelWidthMHz selects the operating channel width of every BSS:
+	// 0 or 20 is the legacy single-20-MHz-channel model, 40 enables
+	// channel bonding — BSS.Channel becomes the primary 20 MHz slot and
+	// the BSS also occupies slot Channel+1. Transmissions at a 40 MHz
+	// mode span both slots; 20 MHz frames (including RTS/CTS at the
+	// robust rate) ride the primary alone. Partially overlapping BSSs
+	// (|channel difference| == 1) contribute fractional interference
+	// power to each other instead of being independent, and a 40 MHz
+	// receiver integrates twice the noise bandwidth. Any Modes entry
+	// wider than 20 MHz requires 40 here.
+	ChannelWidthMHz int
+
 	// Aggregation, when non-nil, enables A-MPDU frame aggregation: a
 	// winning queue bundles its same-destination head-of-line packets
 	// into one burst under a single PLCP preamble, each MPDU is judged
@@ -173,6 +206,13 @@ type AggConfig struct {
 	// the PLCP preamble; it replaces the per-frame ACK at the end of an
 	// aggregated exchange.
 	BlockAckUs float64
+	// MaxAmpduAirUs caps one A-MPDU's data airtime (the PPDU duration
+	// limit real HT hardware enforces): a gathered burst is trimmed
+	// until it fits, though a lone head MPDU still goes out. This is
+	// what keeps a rate controller's probe at the slowest ladder entry
+	// from occupying the medium for tens of milliseconds. 0 = no cap
+	// (the legacy byte/frame-capped behavior).
+	MaxAmpduAirUs float64
 }
 
 // DefaultAggregation is an 802.11n-flavoured A-MPDU setting: 64 KiB
@@ -232,6 +272,30 @@ func (c Config) Validate() {
 	if c.Shards < 0 {
 		panic(fmt.Sprintf("netsim: Config.Shards must not be negative, got %d", c.Shards))
 	}
+	switch c.RateControl {
+	case "", "fixed", "arf", "minstrel":
+	default:
+		panic(fmt.Sprintf("netsim: Config.RateControl %q is not one of \"\", \"fixed\", \"arf\", \"minstrel\"", c.RateControl))
+	}
+	if m := c.Minstrel; m != nil {
+		if m.EwmaWeight <= 0 || m.EwmaWeight > 1 {
+			panic(fmt.Sprintf("netsim: Config.Minstrel.EwmaWeight must be in (0, 1], got %v", m.EwmaWeight))
+		}
+		if m.SampleEvery < 2 {
+			panic(fmt.Sprintf("netsim: Config.Minstrel.SampleEvery must be at least 2, got %d", m.SampleEvery))
+		}
+	}
+	switch c.ChannelWidthMHz {
+	case 0, 20, 40:
+	default:
+		panic(fmt.Sprintf("netsim: Config.ChannelWidthMHz must be 0, 20, or 40, got %d", c.ChannelWidthMHz))
+	}
+	for _, m := range c.Modes {
+		if m.BandwidthMHz > 20 && c.ChannelWidthMHz != 40 {
+			panic(fmt.Sprintf("netsim: Config.Modes contains %d MHz mode %q but Config.ChannelWidthMHz is %d, not 40",
+				int(m.BandwidthMHz), m.Name, c.ChannelWidthMHz))
+		}
+	}
 	if c.Edca != nil {
 		c.Edca.validate()
 	}
@@ -243,6 +307,9 @@ func (c Config) Validate() {
 			panic(fmt.Sprintf("netsim: Config.Aggregation.MaxAmpduBytes must be positive, got %d", a.MaxAmpduBytes))
 		}
 		checkPositive("Config.Aggregation", "BlockAckUs", a.BlockAckUs)
+		if a.MaxAmpduAirUs < 0 {
+			panic(fmt.Sprintf("netsim: Config.Aggregation.MaxAmpduAirUs must not be negative, got %v", a.MaxAmpduAirUs))
+		}
 	}
 }
 
@@ -319,10 +386,11 @@ type Node struct {
 	navUntilUs float64
 	navEvent   sim.EventRef
 
-	// arf holds one rate-adaptation state machine per destination when
-	// Config.Arf is set (AP side needs one per station; a station gets
+	// rc holds one rate-adaptation state machine per destination when a
+	// rate controller is configured — ARF or Minstrel per
+	// Config.RateControl (AP side needs one per station; a station gets
 	// a fresh one when it roams to a new AP).
-	arf map[int]*mac.ArfController
+	rc map[int]rateController
 }
 
 // packet is one queued MAC frame. ac is the effective access category
@@ -410,6 +478,21 @@ type Network struct {
 	// RTS/CTS control frames ride it.
 	robustIdx int
 
+	// rcKind is Config.RateControl resolved to a dispatch constant at
+	// New time (legacy "" maps to ARF or fixed by whether Config.Arf is
+	// set); rcRates caches the Mbps ladder Minstrel controllers index.
+	rcKind  int
+	rcRates []float64
+
+	// bonded marks 40 MHz operation (Config.ChannelWidthMHz == 40);
+	// chanRoot then maps each primary 20 MHz slot to the smallest
+	// channel of its spectrally connected component — BSS spans
+	// {c, c+1} chained while gaps stay under 2 slots — so media form
+	// per (shard, component) instead of per (shard, channel) and
+	// partially overlapping channels share one event timeline.
+	bonded   bool
+	chanRoot map[int]int
+
 	// The run counters (attempts, delivered, airtime, …) live on each
 	// shard — the hot paths increment without synchronization and
 	// collect sums them into the Result.
@@ -444,6 +527,14 @@ func New(cfg Config, seed int64) *Network {
 	if cfg.QueueLimit <= 0 {
 		cfg.QueueLimit = 64
 	}
+	if cfg.RateControl == "arf" && cfg.Arf == nil {
+		a := mac.DefaultArf()
+		cfg.Arf = &a
+	}
+	if cfg.RateControl == "minstrel" && cfg.Minstrel == nil {
+		m := mac.DefaultMinstrel()
+		cfg.Minstrel = &m
+	}
 	cfg.Validate()
 	n := &Network{cfg: cfg, src: rng.New(seed), noiseFloorDBm: cfg.Budget.NoiseFloorDBm()}
 	n.noiseFloorMw = mwFromDBm(n.noiseFloorDBm)
@@ -458,6 +549,19 @@ func New(cfg Config, seed int64) *Network {
 			n.robustIdx = i
 		}
 	}
+	switch {
+	case cfg.RateControl == "minstrel":
+		n.rcKind = rcMinstrel
+		n.rcRates = make([]float64, len(cfg.Modes))
+		for i, m := range cfg.Modes {
+			n.rcRates[i] = m.RateMbps
+		}
+	case cfg.RateControl == "arf" || (cfg.RateControl == "" && cfg.Arf != nil):
+		n.rcKind = rcArf
+	default:
+		n.rcKind = rcFixed
+	}
+	n.bonded = cfg.ChannelWidthMHz == 40
 	return n
 }
 
@@ -606,6 +710,9 @@ func (n *Network) build() {
 	// the gain matrix: media size their grids from csRangeM, and the
 	// shard planner's interaction radius builds on both.
 	n.csRangeM, n.navRangeM = n.indexRanges()
+	if n.bonded {
+		n.chanRoot = bondedComponents(n.bss)
+	}
 	n.planShards()
 	// One medium per distinct (shard, channel), in global
 	// first-appearance order — APs in BSS order, then stations — so the
@@ -626,6 +733,39 @@ func (n *Network) build() {
 	}
 	n.bssBytes = make([]int, len(n.bss))
 	n.built = true
+}
+
+// bondedComponents groups the deployment's primary channels into
+// spectrally connected components for 40 MHz operation: a BSS on
+// primary c spans slots {c, c+1}, so the spans of primaries a < b
+// overlap exactly when b-a <= 1. Walking the distinct primaries in
+// ascending order and chaining neighbors while the gap stays under 2
+// therefore yields the connected components of the overlap graph; each
+// primary maps to the smallest channel of its component, the key its
+// media are filed under. Channels two or more slots apart stay in
+// separate components — their spans are disjoint, so they never share
+// an event timeline (a pair bridged into one component by an
+// intermediate channel shares a medium but crosses zero interference;
+// the per-transmission overlap fraction handles that).
+func bondedComponents(bss []*BSS) map[int]int {
+	chans := make([]int, 0, len(bss))
+	seen := make(map[int]bool)
+	for _, b := range bss {
+		if !seen[b.Channel] {
+			seen[b.Channel] = true
+			chans = append(chans, b.Channel)
+		}
+	}
+	sort.Ints(chans)
+	root := make(map[int]int, len(chans))
+	for i, c := range chans {
+		if i == 0 || c-chans[i-1] > 1 {
+			root[c] = c
+		} else {
+			root[c] = root[chans[i-1]]
+		}
+	}
+	return root
 }
 
 // fillGains computes the initial received-power matrix: each unordered

@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/linkmodel"
 	"repro/internal/mac"
 	"repro/internal/netsim"
 	"repro/internal/netsim/app"
@@ -56,6 +57,18 @@ type Overrides struct {
 	Edca              bool     `json:"edca,omitempty"`
 	Txop              bool     `json:"txop,omitempty"`
 	Arf               bool     `json:"arf,omitempty"`
+
+	// RateControl selects the per-link rate controller ("fixed" | "arf"
+	// | "minstrel"); absent keeps the legacy rule (ARF iff config.arf).
+	RateControl *string `json:"rate_control,omitempty"`
+	// HtStreams switches the rate table to the 802.11n HT ladder
+	// (linkmodel.HtModes) with this many spatial streams, at
+	// channel_width_mhz (default 20).
+	HtStreams *int `json:"ht_streams,omitempty"`
+	// ChannelWidthMHz is the operating width: 20 keeps single-channel
+	// operation, 40 bonds {channel, channel+1} with partial-overlap
+	// interference between neighboring spans.
+	ChannelWidthMHz *int `json:"channel_width_mhz,omitempty"`
 }
 
 // AP places one BSS's access point.
@@ -250,6 +263,22 @@ func (f *File) Validate() error {
 		}
 		if c.Txop && !c.Edca {
 			return errf("config.txop", "needs config.edca (legacy DCF runs everything in AC_BE, whose default TXOP limit is 0)")
+		}
+		if c.RateControl != nil {
+			switch *c.RateControl {
+			case "fixed", "arf", "minstrel":
+			default:
+				return errf("config.rate_control", "unknown rate controller %q (want fixed | arf | minstrel)", *c.RateControl)
+			}
+			if c.Arf {
+				return errf("config.arf", "conflicts with config.rate_control (arf is the rate_control %q shorthand)", "arf")
+			}
+		}
+		if c.ChannelWidthMHz != nil && *c.ChannelWidthMHz != 20 && *c.ChannelWidthMHz != 40 {
+			return errf("config.channel_width_mhz", "must be 20 or 40, got %d", *c.ChannelWidthMHz)
+		}
+		if c.HtStreams != nil && (*c.HtStreams < 1 || *c.HtStreams > 4) {
+			return errf("config.ht_streams", "must be 1..4 spatial streams, got %d", *c.HtStreams)
 		}
 	}
 	if len(f.APs) == 0 {
@@ -462,6 +491,19 @@ func (f *File) netConfig() netsim.Config {
 	if c.Arf {
 		a := mac.DefaultArf()
 		cfg.Arf = &a
+	}
+	if c.HtStreams != nil {
+		w := 20
+		if c.ChannelWidthMHz != nil {
+			w = *c.ChannelWidthMHz
+		}
+		cfg.Modes = linkmodel.HtModes(*c.HtStreams, w)
+	}
+	if c.ChannelWidthMHz != nil {
+		cfg.ChannelWidthMHz = *c.ChannelWidthMHz
+	}
+	if c.RateControl != nil {
+		cfg.RateControl = *c.RateControl
 	}
 	if c.Edca {
 		e := netsim.DefaultEdca(cfg.Dcf, cfg.QueueLimit)

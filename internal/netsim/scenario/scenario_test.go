@@ -19,6 +19,9 @@ func full() *File {
 	shards := 1
 	roam := 250e3
 	ampdu := 8
+	rc := "minstrel"
+	streams := 2
+	width := 40
 	return &File{
 		Name:      "full",
 		DurationS: 0.5,
@@ -26,7 +29,8 @@ func full() *File {
 		Config: &Overrides{
 			CSThresholdDBm: &cs, QueueLimit: &ql, RtsThresholdBytes: &rts,
 			Shards: &shards, RoamIntervalUs: &roam, AmpduFrames: &ampdu,
-			Edca: true, Txop: true, Arf: true,
+			Edca: true, Txop: true,
+			RateControl: &rc, HtStreams: &streams, ChannelWidthMHz: &width,
 		},
 		APs: []AP{
 			{Name: "AP0", X: 0, Y: 0, Channel: 1},
@@ -146,6 +150,10 @@ func TestValidationErrors(t *testing.T) {
 			f.Flows[1].Transport = &Transport{}
 		}, "flows[1].app.type"},
 		{"txop without edca", func(f *File) { f.Config.Edca = false }, "config.txop"},
+		{"bad rate control", func(f *File) { *f.Config.RateControl = "turbo" }, "config.rate_control"},
+		{"arf beside rate control", func(f *File) { f.Config.Arf = true }, "config.arf"},
+		{"bad channel width", func(f *File) { *f.Config.ChannelWidthMHz = 30 }, "config.channel_width_mhz"},
+		{"bad ht streams", func(f *File) { *f.Config.HtStreams = 5 }, "config.ht_streams"},
 	}
 	for _, tc := range cases {
 		f := full()

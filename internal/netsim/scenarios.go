@@ -3,6 +3,8 @@ package netsim
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/linkmodel"
 )
 
 // Scenario presets shared by experiments E22-E25, cmd/netsim, and the
@@ -20,6 +22,39 @@ func checkCount(scenario, field string, v, minimum int) {
 	if v < minimum {
 		panic(fmt.Sprintf("netsim: %s.%s must be at least %d, got %d", scenario, field, minimum, v))
 	}
+}
+
+// HtConfig is DefaultConfig retuned for 802.11n HT operation: the full
+// linkmodel.HtModes rate ladder for nss spatial streams at widthMHz
+// (20 or 40), Minstrel sampling rate control over that 2-D ladder,
+// A-MPDU aggregation (HT's MAC-efficiency half), and — at 40 MHz —
+// channel bonding with partial-overlap interference. MAC timing,
+// propagation, and carrier sense stay at the 802.11a/g defaults, so HT
+// and legacy runs differ only in the PHY rate subsystem.
+func HtConfig(nss, widthMHz int) Config {
+	cfg := DefaultConfig()
+	cfg.Modes = linkmodel.HtModes(nss, widthMHz)
+	if widthMHz == 40 {
+		cfg.ChannelWidthMHz = 40
+	}
+	cfg.RateControl = "minstrel"
+	agg := DefaultAggregation()
+	// The HT PPDU duration cap. Without it a Minstrel probe at the
+	// slowest ladder entry would drag a full 64 KiB burst out to tens
+	// of milliseconds of airtime — one sampling decision worth a third
+	// of a short run.
+	agg.MaxAmpduAirUs = 4000
+	cfg.Aggregation = &agg
+	return cfg
+}
+
+// HighDensityHt is the bonded-HT dense floor: nBSS two-stream 40 MHz
+// BSSs on the DenseGrid 20 m pitch with saturated 1500-byte uplinks,
+// primaries drawn from {1, 5, 9} so neighboring cells' bonded spans
+// ({1,2}, {5,6}, {9,10}) stay orthogonal — the deployment E30's
+// bonded-vs-unbonded sweep perturbs into partial overlap.
+func HighDensityHt(nBSS, staPerBSS int) func(seed int64) *Network {
+	return DenseGrid(HtConfig(2, 40), nBSS, staPerBSS, []int{1, 5, 9}, 20, 1500)
 }
 
 // DenseGrid lays nBSS APs on a square-ish grid with the given spacing

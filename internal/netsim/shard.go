@@ -107,20 +107,28 @@ func newShard(n *Network, idx int) *shard {
 }
 
 // mediumFor returns the shard's medium for the channel, creating it on
-// first use. Media are per (shard, channel): two shards using the same
-// channel number are beyond interaction range by construction, so their
-// media never see each other's frames.
+// first use. Media are per (shard, channel) — per (shard, spectral
+// component) under 40 MHz bonding, where partially overlapping
+// channels must share one event timeline (Network.chanRoot) — and two
+// shards using the same key are beyond interaction range by
+// construction, so their media never see each other's frames.
 func (sh *shard) mediumFor(ch int) *medium {
+	n := sh.net
+	if n.bonded {
+		ch = n.chanRoot[ch]
+	}
 	for _, m := range sh.media {
 		if m.channel == ch {
 			return m
 		}
 	}
-	n := sh.net
-	m := &medium{net: n, sh: sh, channel: ch}
+	m := &medium{net: n, sh: sh, channel: ch, bonded: n.bonded}
 	if !n.cfg.DisableSpatialIndex {
 		// Cell size = carrier-sense range: an energy-detect query visits
-		// at most the 3x3 block around the transmitter's cell.
+		// at most the 3x3 block around the transmitter's cell. The range
+		// derives from unscaled received power, and bonding's overlap
+		// fractions only attenuate — so the cells stay a conservative
+		// superset under partial spectral overlap too.
 		m.grid = newSpatialGrid(n.csRangeM)
 	}
 	sh.media = append(sh.media, m)
@@ -214,12 +222,31 @@ func (n *Network) lookaheadUs() float64 {
 	return shardEpochSlots * (n.cfg.Dcf.SIFSUs + n.cfg.Dcf.SlotUs)
 }
 
-// interactRangeM is the distance beyond which two same-channel nodes
-// cannot influence each other's MAC state: the max of carrier-sense
-// reach, NAV decode reach, and the farthest distance at which a
-// transmission still arrives above noise − interferenceMarginDB. Like
-// indexRanges, the budget folds in the deployment's most favorable
-// shadowing draw, so no lucky pair reaches across a seam.
+// channelsCouple reports whether two BSS primary channels can exchange
+// energy: equality in the legacy 20 MHz model, and under 40 MHz
+// bonding also direct neighbors, whose {c, c+1} spans share a slot.
+// The shard planner's union-find merges on this predicate, so bonded
+// partial overlap never crosses a shard seam.
+func (n *Network) channelsCouple(ca, cb int) bool {
+	if !n.bonded {
+		return ca == cb
+	}
+	d := ca - cb
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1
+}
+
+// interactRangeM is the distance beyond which two spectrally coupled
+// nodes cannot influence each other's MAC state: the max of
+// carrier-sense reach, NAV decode reach, and the farthest distance at
+// which a transmission still arrives above noise −
+// interferenceMarginDB. Like indexRanges, the budget folds in the
+// deployment's most favorable shadowing draw, so no lucky pair reaches
+// across a seam; bonding's fractional overlap only attenuates received
+// power, so the unscaled range stays conservative for partially
+// overlapping channels too.
 func (n *Network) interactRangeM() float64 {
 	b := n.cfg.Budget
 	gainDBm := b.TxPowerDBm + b.TxAntennaGain + b.RxAntennaGain - n.minShadowDB()
@@ -283,7 +310,7 @@ func (n *Network) interactionGroups() [][]int {
 	for i, a := range n.nodes {
 		for j := i + 1; j < len(n.nodes); j++ {
 			b := n.nodes[j]
-			if a.bss == b.bss || a.bss.Channel != b.bss.Channel {
+			if a.bss == b.bss || !n.channelsCouple(a.bss.Channel, b.bss.Channel) {
 				continue
 			}
 			if find(a.bss.idx) == find(b.bss.idx) {

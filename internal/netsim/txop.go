@@ -74,6 +74,14 @@ func (nd *Node) buildExchange(t *Txop) *exchange {
 		}
 	}
 	ex.finalize(nd)
+	if agg := nd.net.cfg.Aggregation; agg != nil && agg.MaxAmpduAirUs > 0 {
+		// The PPDU duration cap: trim the burst until its data portion
+		// fits, whatever mode the rate controller picked.
+		for len(ex.mpdus) > 1 && ex.dataAirUs() > agg.MaxAmpduAirUs {
+			ex.mpdus = ex.mpdus[:len(ex.mpdus)-1]
+			ex.finalize(nd)
+		}
+	}
 	if t.LimitUs > 0 {
 		remaining := t.LimitUs + slotEps - (nd.sh.eng.Now() - t.StartUs)
 		for len(ex.mpdus) > 1 && ex.airUs() > remaining {
@@ -227,12 +235,11 @@ func (nd *Node) applyBlockAck(tr *transmission, ok []bool) {
 			delivered++
 		}
 	}
-	if net.cfg.Arf != nil {
-		if delivered > 0 {
-			nd.arfFor(tr.rx).OnSuccess()
-		} else {
-			nd.arfFor(tr.rx).OnFailure()
-		}
+	if c := nd.rcFor(tr.rx); c != nil {
+		// The aggregate per-A-MPDU verdict: ARF maps it onto its
+		// historical delivered>0 success rule, Minstrel uses the full
+		// delivered-of-total ratio to update the entry's EWMA.
+		c.OnVerdict(delivered, len(ok))
 	}
 	interfered := tr.interfered(net.noiseFloorMw)
 	var requeue []*packet

@@ -1,6 +1,7 @@
 package phy
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/linkmodel"
@@ -55,6 +56,107 @@ func TestLinkmodelOrderingMatchesPhy(t *testing.T) {
 	}
 }
 
+// TestLinkmodelHtMatchesPhy calibrates the HT rate-adaptation ladder
+// (linkmodel.HtModes) against the 802.11n Monte-Carlo PHY, mirroring
+// the legacy OFDM calibration above: the netsim rate controllers sweep
+// these SnrReqDB thresholds millions of times, so their ordering and
+// rough placement must agree with the simulated constellation or the
+// whole MCS ladder downstream is distorted.
+func TestLinkmodelHtMatchesPhy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo calibration is slow")
+	}
+	src := rng.New(3)
+	family := linkmodel.HtFamily(linkmodel.HtOptions{Streams: 1, RxChains: 1})
+
+	// Single stream, 20 MHz, AWGN: the direct-mapped case where the
+	// model's SnrReqDB claims to be the calibratable threshold itself.
+	mcsPoints := []int{0, 2, 4, 7}
+	var simThresholds, modelThresholds []float64
+	for _, mcs := range mcsPoints {
+		p := mustHtCal(t, HtConfig{MCS: mcs})
+		simThresholds = append(simThresholds,
+			SNRForPERMimo(p, AwgnMimoChannel, 0.1, 200, 25, src.Split()))
+		modelThresholds = append(modelThresholds, family[mcs].SnrReqDB)
+	}
+	for i := 1; i < len(mcsPoints); i++ {
+		if simThresholds[i] <= simThresholds[i-1] {
+			t.Errorf("simulated HT thresholds not increasing: %v", simThresholds)
+		}
+		if modelThresholds[i] <= modelThresholds[i-1] {
+			t.Errorf("model HT thresholds not increasing: %v", modelThresholds)
+		}
+	}
+	// Same generous absolute band as the legacy calibration: no
+	// channel-estimation loss and a fixed implementation gap in the model.
+	for i, mcs := range mcsPoints {
+		diff := simThresholds[i] - modelThresholds[i]
+		if diff < -4 || diff > 6 {
+			t.Errorf("MCS%d: simulated threshold %.1f dB vs model %.1f dB (diff %.1f)",
+				mcs, simThresholds[i], modelThresholds[i], diff)
+		}
+	}
+
+	// Channel bonding buys rate, not robustness: the 40 MHz entries in
+	// the full ladder must carry the identical per-mode threshold (the
+	// per-tone constellation SNR does not change with the FFT size)...
+	ladder := linkmodel.HtModes(1, 40)
+	byName := map[string]linkmodel.Mode{}
+	for _, m := range ladder {
+		byName[m.Name] = m
+	}
+	for mcs := 0; mcs < 8; mcs++ {
+		narrow := byName[fmt.Sprintf("HT MCS%d 1ss BCC 20MHz", mcs)]
+		wide := byName[fmt.Sprintf("HT MCS%d 1ss BCC 40MHz", mcs)]
+		if narrow.Name == "" || wide.Name == "" {
+			t.Fatalf("ladder missing MCS%d width pair", mcs)
+		}
+		if narrow.SnrReqDB != wide.SnrReqDB {
+			t.Errorf("MCS%d: 40 MHz threshold %.2f != 20 MHz %.2f", mcs, wide.SnrReqDB, narrow.SnrReqDB)
+		}
+		if wide.RateMbps <= narrow.RateMbps {
+			t.Errorf("MCS%d: 40 MHz rate %.1f not above 20 MHz %.1f", mcs, wide.RateMbps, narrow.RateMbps)
+		}
+	}
+	// ...and the simulated 128-FFT PHY must agree within the same band.
+	wide7 := SNRForPERMimo(mustHtCal(t, HtConfig{MCS: 7, Width40: true}),
+		AwgnMimoChannel, 0.1, 200, 25, src.Split())
+	if diff := wide7 - family[7].SnrReqDB; diff < -4 || diff > 6 {
+		t.Errorf("MCS7 40 MHz: simulated threshold %.1f dB vs model %.1f dB (diff %.1f)",
+			wide7, family[7].SnrReqDB, diff)
+	}
+
+	// Two spatial streams: the model charges exactly the 3 dB
+	// stream-split penalty over the per-stream MCS...
+	family2 := linkmodel.HtFamily(linkmodel.HtOptions{Streams: 2, RxChains: 2})
+	for mcs := 0; mcs < 8; mcs++ {
+		gap := family2[mcs].SnrReqDB - family[mcs].SnrReqDB
+		if gap < 3.0 || gap > 3.02 {
+			t.Errorf("MCS%d: 2ss threshold penalty %.2f dB, want ~3.01 (power split)", mcs, gap)
+		}
+	}
+	// ...and the simulated 2x2 PHY agrees on the shape: thresholds climb
+	// with the per-stream MCS, and separating two streams on a Rayleigh
+	// channel costs real SNR over one stream with the same RX aperture.
+	var sim2ss []float64
+	for _, mcs := range []int{8, 12, 15} { // 2ss per-stream MCS 0, 4, 7
+		p := mustHtCal(t, HtConfig{MCS: mcs, NRx: 2})
+		sim2ss = append(sim2ss,
+			SNRForPERMimo(p, FlatMimoChannel, 0.1, 150, 60, src.Split()))
+	}
+	for i := 1; i < len(sim2ss); i++ {
+		if sim2ss[i] <= sim2ss[i-1] {
+			t.Errorf("simulated 2ss thresholds not increasing: %v", sim2ss)
+		}
+	}
+	oneStream := SNRForPERMimo(mustHtCal(t, HtConfig{MCS: 0, NRx: 2}),
+		FlatMimoChannel, 0.1, 150, 60, src.Split())
+	if sim2ss[0] <= oneStream {
+		t.Errorf("2ss MCS0 threshold %.1f dB not above 1ss-with-2RX %.1f dB: stream separation came free",
+			sim2ss[0], oneStream)
+	}
+}
+
 func TestLinkmodelDiversityMatchesPhyStbc(t *testing.T) {
 	if testing.Short() {
 		t.Skip("Monte-Carlo calibration is slow")
@@ -68,7 +170,7 @@ func TestLinkmodelDiversityMatchesPhyStbc(t *testing.T) {
 	const snr = 12.0
 	perSiso := MeasurePERMimo(siso, FlatMimoChannel, snr, 150, 80, src.Split()).PER()
 	perStbc := MeasurePERMimo(stbc, FlatMimoChannel, snr, 150, 80, src.Split()).PER()
-	m1 := linkmodel.HtModes(linkmodel.HtOptions{Streams: 1, RxChains: 1})[0]
+	m1 := linkmodel.HtFamily(linkmodel.HtOptions{Streams: 1, RxChains: 1})[0]
 	m2 := m1
 	m2.DiversityOrder = 2
 	pm1 := m1.PERFading(snr)
