@@ -97,6 +97,7 @@ func main() {
 	ampdu := flag.Int("ampdu", 0, "A-MPDU aggregation: max MPDUs per burst with Block-ACK partial retransmission (0 = off)")
 	downlink := flag.Bool("downlink", false, "source flows at the AP instead of the stations (mix: per-AC queues at the AP; roam: the queue follows the walker between APs)")
 	csDBm := flag.Float64("cs", -82, "carrier-sense (energy-detect) threshold in dBm (floor preset defaults to -62 unless set)")
+	obssPd := flag.Float64("obss-pd", 0, "OBSS-PD spatial-reuse threshold in dBm (e.g. -62): inter-BSS frames below it are ignored for deferral and the reusing transmission pays the coupled TX-power backoff; 0 = off")
 	noSpatial := flag.Bool("no-spatial", false, "disable the spatial carrier-sense index and use the brute-force all-nodes scan (the equivalence-test oracle)")
 	shards := flag.Int("shards", 1, "partition the floor into up to N lookahead-synchronized engine shards (0/1 = single engine; clamps to the interaction-group count, falls back to 1 with a reported reason when the floor is coupled)")
 	// Per-shard stats get their own flag rather than piggybacking on
@@ -156,6 +157,9 @@ func main() {
 	if *sampleUs < 0 || math.IsNaN(*sampleUs) || math.IsInf(*sampleUs, 0) {
 		fail("-sample-us must be a non-negative finite number, got %v", *sampleUs)
 	}
+	if *obssPd != 0 && (math.IsNaN(*obssPd) || math.IsInf(*obssPd, 0) || *obssPd >= 0) {
+		fail("-obss-pd must be a negative dBm figure (0 disables), got %v", *obssPd)
+	}
 	var channels []int
 	for _, c := range strings.Split(*channelList, ",") {
 		ch, err := strconv.Atoi(strings.TrimSpace(c))
@@ -205,7 +209,7 @@ func main() {
 	if *configPath != "" {
 		for _, name := range []string{"scenario", "floor", "bss", "sta", "cols", "channels",
 			"payload", "data-mbps", "rts", "arf", "ht", "bond", "minstrel", "edca", "txop",
-			"ampdu", "downlink", "cs", "no-spatial", "shards", "sample-us"} {
+			"ampdu", "downlink", "cs", "obss-pd", "no-spatial", "shards", "sample-us"} {
 			if set[name] {
 				fail("-%s cannot be combined with -config (the file owns the scenario shape; set it there)", name)
 			}
@@ -235,8 +239,19 @@ func main() {
 	if *scenarioName == "floor" && !set["cs"] {
 		*csDBm = -62 // OBSS-PD-style spatial reuse, as in E27
 	}
+	if *obssPd != 0 && *scenarioName == "floor" && !set["cs"] {
+		// With spatial reuse carrying the -62 dBm relaxation, the floor
+		// keeps the legacy -82 dBm energy detect as its baseline.
+		*csDBm = -82
+	}
 	if set["cs"] || *scenarioName == "floor" {
 		cfg.CSThresholdDBm = *csDBm
+	}
+	if *obssPd != 0 {
+		if *obssPd <= cfg.CSThresholdDBm {
+			fail("-obss-pd (%v) must be above the carrier-sense threshold (%v): OBSS-PD relaxes deferral, it cannot tighten it", *obssPd, cfg.CSThresholdDBm)
+		}
+		cfg.ObssPdThresholdDBm = *obssPd
 	}
 	if *arf {
 		a := mac.DefaultArf()
@@ -500,6 +515,18 @@ func main() {
 	}
 	if s := results[0].Samples; s != nil {
 		tables = append(tables, sampleTable(s, jobs[0].Seed))
+	}
+	if *obssPd != 0 || (scFile != nil && scFile.Config != nil && scFile.Config.ObssPdThresholdDBm != nil) {
+		sr := report.Table{
+			ID:     "obss",
+			Title:  "OBSS-PD spatial reuse",
+			Header: []string{"seed", "ignores", "reuse tx", "per-BSS Jain"},
+		}
+		for i, r := range results {
+			sr.AddRow(int(jobs[i].Seed), r.ObssIgnores, r.ObssReuseTx,
+				fmt.Sprintf("%.4f", netsim.JainIndex(r.BssGoodputMbps)))
+		}
+		tables = append(tables, sr)
 	}
 	if plan := results[0].Plan; *shards > 1 || *shardStats {
 		if plan.Reason != "" {

@@ -66,6 +66,7 @@ func All() []Runner {
 		{"E27", "Large-floor density sweep: 25-144 BSSs with spatial reuse (netsim)", E27LargeFloorScale},
 		{"E29", "Closed-loop transport + app QoE vs user density (netsim)", E29ClosedLoopQoE},
 		{"E30", "HT rate adaptation and 40 MHz channel bonding (netsim)", E30HtRateAdaptation},
+		{"E31", "OBSS-PD spatial reuse: capacity vs per-BSS fairness (netsim)", E31SpatialReuse},
 	}
 }
 

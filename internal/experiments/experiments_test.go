@@ -439,6 +439,65 @@ func TestE27DensityScalesUnderSpatialReuse(t *testing.T) {
 	}
 }
 
+func TestE31SpatialReuseTradeoff(t *testing.T) {
+	tables := E31SpatialReuse(Quick())
+	if len(tables) != 2 {
+		t.Fatalf("%d tables, want floor + bonded", len(tables))
+	}
+	floor := tables[0]
+	if len(floor.Rows) != 4 {
+		t.Fatalf("%d floor rows, want off + 3 thresholds", len(floor.Rows))
+	}
+	// Columns: threshold, backoff, agg Mbps, per-BSS Jain, ignores, reuse tx.
+	// The off row is the legacy baseline and must never touch the reuse path.
+	legacyAgg := parse(t, floor.Rows[0][2])
+	legacyJain := parse(t, floor.Rows[0][3])
+	if parse(t, floor.Rows[0][4]) != 0 || parse(t, floor.Rows[0][5]) != 0 {
+		t.Errorf("legacy row has OBSS counters: %v", floor.Rows[0])
+	}
+	// The acceptance bar: at least one threshold above the legacy -82 dBm
+	// energy detect must strictly grow aggregate capacity while keeping the
+	// per-BSS Jain index within 10% of the legacy floor's.
+	wins := 0
+	for _, row := range floor.Rows[1:] {
+		if parse(t, row[4]) <= 0 || parse(t, row[5]) <= 0 {
+			t.Errorf("threshold %s never exercised the reuse path: %v", row[0], row)
+		}
+		agg, jain := parse(t, row[2]), parse(t, row[3])
+		if agg > legacyAgg && jain >= 0.9*legacyJain {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Errorf("no OBSS-PD threshold beat the legacy floor within the fairness bar: %v", floor.Rows)
+	}
+	// The coupled TX-power backoff must make itself felt: the most
+	// aggressive threshold pays more fairness than the mildest.
+	if mild, aggr := parse(t, floor.Rows[1][3]), parse(t, floor.Rows[3][3]); aggr >= mild {
+		t.Errorf("-62 dBm Jain %v not below -72 dBm Jain %v; the reuse price vanished", aggr, mild)
+	}
+
+	// Bonded floor: the off row is clean, and a threshold whose window
+	// catches no inter-BSS energy must leave the simulation untouched —
+	// the ignore test is observation-only.
+	bond := tables[1]
+	if parse(t, bond.Rows[0][4]) != 0 || parse(t, bond.Rows[0][5]) != 0 {
+		t.Errorf("bonded legacy row has OBSS counters: %v", bond.Rows[0])
+	}
+	if bond.Rows[1][4] == "0" && bond.Rows[1][2] != bond.Rows[0][2] {
+		t.Errorf("empty reuse window perturbed the bonded floor: %v vs %v", bond.Rows[1], bond.Rows[0])
+	}
+	sawReuse := false
+	for _, row := range bond.Rows[1:] {
+		if parse(t, row[5]) > 0 {
+			sawReuse = true
+		}
+	}
+	if !sawReuse {
+		t.Error("no bonded threshold ever triggered spatial reuse")
+	}
+}
+
 func TestE29ClosedLoopSignature(t *testing.T) {
 	tb := E29ClosedLoopQoE(Quick())[0]
 	if len(tb.Rows) < 3 {

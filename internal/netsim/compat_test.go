@@ -122,6 +122,18 @@ func compatScenarios() []struct {
 			cfg.CSThresholdDBm = -62
 			return LargeFloor(cfg, 25, 3, 5, 1)(21).Run(1e5)
 		}},
+		// obss-off-floor pins the spatial-reuse subsystem's OFF state:
+		// ObssPdThresholdDBm unset on the 1/6/11 floor E31 sweeps, at
+		// the legacy -82 dBm energy detect. Captured at the subsystem's
+		// introduction — after every pre-OBSS golden above passed
+		// unchanged, proving coloring-off reproduces the pre-OBSS tree
+		// bit for bit — so any future OBSS change that leaks into the
+		// disabled path (a scale factor that stops being exactly 1, a
+		// window test that fires with the threshold unset) trips this
+		// row.
+		{"obss-off-floor", func() Result {
+			return LargeFloor(DefaultConfig(), 16, 2, 4, 1, 6, 11)(31).Run(1e5)
+		}},
 	}
 }
 

@@ -87,6 +87,22 @@ func equivScenarios() []struct {
 			cfg.Aggregation = &agg
 			return DenseGrid(cfg, 6, 3, []int{1, 2, 3}, 25, 1200)
 		}},
+		// The bonded Minstrel floor again, with OBSS-PD coloring on:
+		// the color-aware window is re-evaluated per listener inside
+		// the CS scan and NAV adoption the index accelerates, and
+		// co-channel cells 50 m apart (~-71 dBm) land inside the
+		// (-82, -62) window, so ignore decisions and backed-off
+		// transmissions run hot. The oracle must agree on every one.
+		{"obss-bonded-reuse", 1e5, func(cfg Config) func(int64) *Network {
+			cfg.Modes = linkmodel.HtModes(2, 40)
+			cfg.ChannelWidthMHz = 40
+			cfg.RateControl = "minstrel"
+			agg := DefaultAggregation()
+			agg.MaxAmpduAirUs = 4000
+			cfg.Aggregation = &agg
+			cfg.ObssPdThresholdDBm = -62
+			return DenseGrid(cfg, 6, 3, []int{1, 2, 3}, 25, 1200)
+		}},
 	}
 }
 

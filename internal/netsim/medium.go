@@ -101,6 +101,20 @@ type transmission struct {
 	// media, where every co-medium frame shares the one channel.
 	chLo, chW int
 
+	// color is the sender's BSS color, carried in the frame header so
+	// listeners can tell inter-BSS frames apart for OBSS-PD spatial
+	// reuse. backoffDB / scaleMw are the coupled TX-power backoff this
+	// frame was sent at: 0 dB / ×1 normally, the network's
+	// obssBackoffDB / obssScaleMw when the frame was launched while an
+	// ignorable inter-BSS frame was on the air (start decides). Every
+	// received-power figure involving this frame — interference crossed
+	// into concurrent ones, the signal term of its own SINR, and the
+	// power listeners judge against the CS/OBSS-PD thresholds — carries
+	// the backoff.
+	color     int
+	backoffDB float64
+	scaleMw   float64
+
 	// ex is the frame exchange this transmission belongs to (set on RTS
 	// and data frames; pkt is its first MPDU). The CTS, sent by the
 	// responder, carries only pkt.
@@ -301,6 +315,38 @@ func (m *medium) start(tr *transmission) {
 	if m.bonded && tr.mode.BandwidthMHz > 20 {
 		tr.chW = 2
 	}
+	tr.color = tr.tx.bss.color
+	tr.scaleMw = 1
+	if m.net.obssOn {
+		// OBSS-PD coupling rule: a transmission launched while an
+		// inter-BSS frame sits in the ignore window [CSThresholdDBm,
+		// ObssPdThresholdDBm) is a spatial-reuse transmission and must
+		// back its TX power off by the dB the deferral threshold was
+		// relaxed. The window test replays the listener-side CS scan from
+		// the transmitter's seat: same bonded span adjustment, same
+		// backoff on the heard frame's own power.
+		for _, a := range m.active {
+			if a.tx == tr.tx || a.color == tr.color {
+				continue
+			}
+			p := m.net.rxPowerDBm(a.tx, tr.tx) + a.backoffDB
+			if m.bonded {
+				ov := slotOverlap(a.chLo, a.chW, tr.tx.bss.Channel, 2)
+				if ov == 0 {
+					continue
+				}
+				if ov < a.chW {
+					p += halfSlotDB
+				}
+			}
+			if p >= m.net.cfg.CSThresholdDBm && p < m.net.cfg.ObssPdThresholdDBm {
+				tr.backoffDB = m.net.obssBackoffDB
+				tr.scaleMw = m.net.obssScaleMw
+				m.sh.obssReuseTx++
+				break
+			}
+		}
+	}
 	if len(m.active) == 0 {
 		m.busyStartUs = m.sh.eng.Now()
 	} else if len(m.active) == 1 {
@@ -325,7 +371,7 @@ func (m *medium) start(tr *transmission) {
 		}
 		if a.rx != tr.tx {
 			if f := overlapFrac(tr, a, m.bonded); f > 0 {
-				mw := m.net.rxPowerMw(tr.tx, a.rx) * f
+				mw := m.net.rxPowerMw(tr.tx, a.rx) * f * tr.scaleMw
 				a.addInterference(mw)
 				if snap {
 					tr.contrib = append(tr.contrib, contribution{a, mw})
@@ -334,7 +380,7 @@ func (m *medium) start(tr *transmission) {
 		}
 		if a.tx != tr.rx {
 			if f := overlapFrac(a, tr, m.bonded); f > 0 {
-				mw := m.net.rxPowerMw(a.tx, tr.rx) * f
+				mw := m.net.rxPowerMw(a.tx, tr.rx) * f * a.scaleMw
 				tr.addInterference(mw)
 				if snap {
 					a.contrib = append(a.contrib, contribution{tr, mw})
@@ -361,7 +407,7 @@ func (m *medium) start(tr *transmission) {
 		if nd == tr.tx || !nd.csTracked {
 			continue
 		}
-		p := m.net.rxPowerDBm(tr.tx, nd)
+		p := m.net.rxPowerDBm(tr.tx, nd) + tr.backoffDB
 		if m.bonded {
 			// Energy detect integrates the listener's whole 40 MHz
 			// operating span {Channel, Channel+1}: a frame overlapping
@@ -376,12 +422,25 @@ func (m *medium) start(tr *transmission) {
 				p += halfSlotDB
 			}
 		}
-		if p >= m.net.cfg.CSThresholdDBm {
-			tr.sensed = append(tr.sensed, nd)
-			nd.busyCount++
-			if nd.busyCount == 1 {
-				nd.pause()
+		if p < m.net.cfg.CSThresholdDBm {
+			continue
+		}
+		if m.net.obssOn && nd.bss.color != tr.color && p < m.net.cfg.ObssPdThresholdDBm {
+			// OBSS-PD spatial reuse: an inter-BSS frame inside the
+			// [CS, OBSS-PD) window does not raise carrier sense — the
+			// listener stays free to transmit (at the coupled power
+			// backoff, which start applies when it does).
+			m.sh.obssIgnores++
+			if m.sh.probe != nil {
+				m.sh.probe.OnEvent(Event{TimeUs: m.sh.eng.Now(), Kind: EvObssIgnore,
+					Frame: tr.kind, AC: tr.pkt.ac, Node: nd.id, Peer: tr.tx.id, Value: p})
 			}
+			continue
+		}
+		tr.sensed = append(tr.sensed, nd)
+		nd.busyCount++
+		if nd.busyCount == 1 {
+			nd.pause()
 		}
 	}
 	if tr.navUntilUs > 0 {
@@ -405,7 +464,16 @@ func (m *medium) start(tr *transmission) {
 				// frame's slots cannot adopt its reservation.
 				continue
 			}
-			if m.net.linkSNRdB(tr.tx, nd) >= need && nd.setNav(tr.navUntilUs) {
+			if m.net.obssOn && nd.bss.color != tr.color &&
+				m.net.rxPowerDBm(tr.tx, nd)+tr.backoffDB < m.net.cfg.ObssPdThresholdDBm {
+				// A decoded inter-BSS reservation inside the OBSS-PD
+				// window is ignorable for NAV too — spatial reuse would
+				// be pointless if the color it ignores for energy detect
+				// still parked it behind the frame's duration field.
+				// Same-color reservations are always honored.
+				continue
+			}
+			if m.net.linkSNRdB(tr.tx, nd)+tr.backoffDB >= need && nd.setNav(tr.navUntilUs) {
 				tr.navAdopters = append(tr.navAdopters, nd)
 			}
 		}
@@ -447,11 +515,12 @@ func (m *medium) finish(tr *transmission) {
 	} else {
 		// Static gains: the matrix still holds exactly what start added
 		// (channels never change without mobility, so the overlap
-		// fraction recomputes identically too).
+		// fraction recomputes identically too — including the frame's
+		// own OBSS-PD power scale, fixed at launch).
 		for _, a := range m.active {
 			if a.rx != tr.tx {
 				if f := overlapFrac(tr, a, m.bonded); f > 0 {
-					a.subInterference(m.net.rxPowerMw(tr.tx, a.rx) * f)
+					a.subInterference(m.net.rxPowerMw(tr.tx, a.rx) * f * tr.scaleMw)
 				}
 			}
 		}
@@ -491,7 +560,9 @@ func (m *medium) succeeds(tr *transmission) bool {
 // the mode thresholds themselves are width-independent per-symbol
 // figures (linkmodel.HtModes), so the penalty lives here.
 func (m *medium) sinrDB(tr *transmission) float64 {
-	sigMw := m.net.rxPowerMw(tr.tx, tr.rx)
+	// scaleMw carries the OBSS-PD TX-power backoff: a spatial-reuse
+	// frame pays its range cost right here, in its own signal term.
+	sigMw := m.net.rxPowerMw(tr.tx, tr.rx) * tr.scaleMw
 	noiseMw := m.net.noiseFloorMw * float64(tr.chW)
 	return 10 * math.Log10(sigMw/(noiseMw+tr.maxIntfMw))
 }

@@ -191,6 +191,31 @@ type Config struct {
 	// only statistically across shard counts; Shards: 1 remains the
 	// oracle the equivalence suite pins against.
 	Shards int
+
+	// Channels, when positive, is the number of 20 MHz channels the
+	// regulatory band provides: every BSS primary must lie in
+	// [1, Channels], and a bonded (40 MHz) BSS additionally needs its
+	// secondary slot Channel+1 inside the band. 0 leaves channel numbers
+	// unchecked, the legacy behavior. AddAP enforces the bound at
+	// construction so a top-of-band 40 MHz BSS fails loudly instead of
+	// silently occupying a slot outside the configured band.
+	Channels int
+
+	// ObssPdThresholdDBm, when non-zero, enables 802.11ax-style OBSS-PD
+	// spatial reuse with BSS coloring: every BSS carries a color in its
+	// frame headers, and a listener may ignore — for both carrier-sense
+	// deferral and NAV adoption — an inter-BSS (different-color) frame
+	// heard above the legacy CSThresholdDBm but below this threshold.
+	// The standard's coupling rule applies: a transmission launched
+	// while such a frame is ignorable is sent with its TX power backed
+	// off by (CSThresholdDBm − ObssPdThresholdDBm) dB — one dB of
+	// deferral relaxed costs one dB of transmit power — so reuse trades
+	// range for parallelism exactly as 802.11ax does. Must be negative
+	// and strictly above CSThresholdDBm (it relaxes legacy deferral, it
+	// cannot tighten it). 0 disables the mechanism entirely and is
+	// bit-identical to every earlier release. Same-color (same-BSS)
+	// frames are always deferred to and their NAV always honored.
+	ObssPdThresholdDBm float64
 }
 
 // AggConfig parameterizes A-MPDU aggregation (Config.Aggregation).
@@ -272,6 +297,18 @@ func (c Config) Validate() {
 	if c.Shards < 0 {
 		panic(fmt.Sprintf("netsim: Config.Shards must not be negative, got %d", c.Shards))
 	}
+	if c.Channels < 0 {
+		panic(fmt.Sprintf("netsim: Config.Channels must not be negative, got %d", c.Channels))
+	}
+	if t := c.ObssPdThresholdDBm; t != 0 {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t > 0 {
+			panic(fmt.Sprintf("netsim: Config.ObssPdThresholdDBm must be a negative finite dBm figure (0 disables), got %v", t))
+		}
+		if t <= c.CSThresholdDBm {
+			panic(fmt.Sprintf("netsim: Config.ObssPdThresholdDBm (%v) must be above Config.CSThresholdDBm (%v) — OBSS-PD relaxes legacy deferral, it cannot tighten it",
+				t, c.CSThresholdDBm))
+		}
+	}
 	switch c.RateControl {
 	case "", "fixed", "arf", "minstrel":
 	default:
@@ -322,6 +359,14 @@ type BSS struct {
 	// idx is the BSS's position in Network.bss — the row index of its
 	// per-BSS telemetry columns (SampleSeries.BssGoodputMbps).
 	idx int
+
+	// color is the BSS color carried in every frame header when OBSS-PD
+	// spatial reuse is on: (idx mod 63) + 1, modeling the standard's
+	// 6-bit color space. Beyond 63 BSSs colors repeat, and a collision
+	// makes two BSSs look like one — the conservative direction (they
+	// defer to each other as if same-BSS) — matching real deployments
+	// where color collisions disable reuse rather than corrupt it.
+	color int
 }
 
 // Node is a station or AP. All MAC state (per-AC queues, backoff,
@@ -493,6 +538,16 @@ type Network struct {
 	bonded   bool
 	chanRoot map[int]int
 
+	// obssOn mirrors Config.ObssPdThresholdDBm != 0. obssBackoffDB is
+	// the coupled TX-power backoff a reusing transmission pays,
+	// CSThresholdDBm − ObssPdThresholdDBm (negative: −20 dB at the
+	// classic −82/−62 pairing); obssScaleMw is the same figure as a
+	// linear power scale, precomputed so the interference hot loop
+	// multiplies instead of exponentiating.
+	obssOn        bool
+	obssBackoffDB float64
+	obssScaleMw   float64
+
 	// The run counters (attempts, delivered, airtime, …) live on each
 	// shard — the hot paths increment without synchronization and
 	// collect sums them into the Result.
@@ -562,6 +617,11 @@ func New(cfg Config, seed int64) *Network {
 		n.rcKind = rcFixed
 	}
 	n.bonded = cfg.ChannelWidthMHz == 40
+	if cfg.ObssPdThresholdDBm != 0 {
+		n.obssOn = true
+		n.obssBackoffDB = cfg.CSThresholdDBm - cfg.ObssPdThresholdDBm
+		n.obssScaleMw = mwFromDBm(n.obssBackoffDB)
+	}
 	return n
 }
 
@@ -584,10 +644,25 @@ func (n *Network) modeIndex(m linkmodel.Mode) int {
 // place nodes from the same deterministic stream.
 func (n *Network) Src() *rng.Source { return n.src }
 
-// AddAP creates a BSS with its AP at (x, y) on the given channel.
+// AddAP creates a BSS with its AP at (x, y) on the given channel. With
+// Config.Channels set it rejects channels outside the band — including
+// the silent failure mode this guards against: a 40 MHz BSS on the top
+// channel whose bonded span {ch, ch+1} would reference a secondary slot
+// the band does not provide.
 func (n *Network) AddAP(name string, x, y float64, ch int) *BSS {
+	if n.cfg.Channels > 0 {
+		if ch < 1 || ch > n.cfg.Channels {
+			panic(fmt.Sprintf("netsim: AddAP %q: channel %d outside the band [1, %d] set by Config.Channels",
+				name, ch, n.cfg.Channels))
+		}
+		if n.cfg.ChannelWidthMHz == 40 && ch+1 > n.cfg.Channels {
+			panic(fmt.Sprintf("netsim: AddAP %q: 40 MHz span {%d, %d} exceeds Config.Channels = %d — the bonded secondary slot falls outside the band",
+				name, ch, ch+1, n.cfg.Channels))
+		}
+	}
 	ap := n.addNode(name, x, y, true)
 	b := &BSS{AP: ap, Channel: ch, idx: len(n.bss)}
+	b.color = b.idx%63 + 1
 	ap.bss = b
 	n.bss = append(n.bss, b)
 	return b
@@ -980,10 +1055,22 @@ func (nd *Node) joinCS() {
 	}
 	net := nd.net
 	for _, a := range nd.med.active {
-		if a.tx != nd && net.rxPowerDBm(a.tx, nd) >= net.cfg.CSThresholdDBm {
-			a.insertSensed(nd)
-			nd.busyCount++
+		if a.tx == nd {
+			continue
 		}
+		// A reusing frame was launched at reduced power (a.backoffDB) and
+		// arrives that much quieter; an inter-BSS frame inside the
+		// OBSS-PD window is ignorable here exactly as it was in the
+		// start-time scan, so a late joiner derives the same busyCount.
+		p := net.rxPowerDBm(a.tx, nd) + a.backoffDB
+		if p < net.cfg.CSThresholdDBm {
+			continue
+		}
+		if net.obssOn && a.color != nd.bss.color && p < net.cfg.ObssPdThresholdDBm {
+			continue
+		}
+		a.insertSensed(nd)
+		nd.busyCount++
 	}
 }
 
@@ -1036,11 +1123,20 @@ func (nd *Node) reassociate(b *BSS) {
 	if nd.csTracked {
 		// Untracked roamers skip the re-baseline: their busyCount is
 		// derived fresh by joinCS when traffic next arrives.
+		net := nd.net
 		for _, tr := range nd.med.active {
-			if tr.tx != nd && nd.net.rxPowerDBm(tr.tx, nd) >= nd.net.cfg.CSThresholdDBm {
-				tr.sensed = append(tr.sensed, nd)
-				nd.busyCount++
+			if tr.tx == nd {
+				continue
 			}
+			p := net.rxPowerDBm(tr.tx, nd) + tr.backoffDB
+			if p < net.cfg.CSThresholdDBm {
+				continue
+			}
+			if net.obssOn && tr.color != nd.bss.color && p < net.cfg.ObssPdThresholdDBm {
+				continue
+			}
+			tr.sensed = append(tr.sensed, nd)
+			nd.busyCount++
 		}
 	}
 	nd.tryResume()
@@ -1174,6 +1270,22 @@ type Result struct {
 	// AirtimeFrac is the union busy fraction of the busiest channel.
 	AirtimeFrac float64
 
+	// BssGoodputMbps is each BSS's delivered goodput (final-hop bytes
+	// carried by the BSS's members), indexed like Network.bss — the
+	// per-cell view the spatial-reuse fairness analysis (Jain index in
+	// E31) is computed from. Always populated.
+	BssGoodputMbps []float64
+
+	// ObssIgnores counts carrier-sense deferrals suppressed by OBSS-PD
+	// spatial reuse: a listener heard an inter-BSS (different-color)
+	// frame above the legacy CS threshold but below
+	// Config.ObssPdThresholdDBm and did not go busy. ObssReuseTx counts
+	// transmissions launched while such a frame was on the air — each
+	// sent with the coupled TX-power backoff. Both zero when the
+	// mechanism is off.
+	ObssIgnores int
+	ObssReuseTx int
+
 	// Samples is the time-series telemetry recorded when
 	// Config.SampleIntervalUs was set; nil otherwise. See SampleSeries.
 	Samples *SampleSeries
@@ -1233,6 +1345,8 @@ func (n *Network) collect(durationUs float64) Result {
 		res.Roams += sh.roams
 		res.Txops += sh.txops
 		res.BlockAckRetries += sh.blockAckRetries
+		res.ObssIgnores += sh.obssIgnores
+		res.ObssReuseTx += sh.obssReuseTx
 		for ac := 0; ac < int(NumACs); ac++ {
 			attempts[ac] += sh.attempts[ac]
 			delivered[ac] += sh.delivered[ac]
@@ -1270,6 +1384,10 @@ func (n *Network) collect(durationUs float64) Result {
 			res.PerAC[ac].MeanDelayUs = mathx.Mean(d)
 			res.PerAC[ac].P95DelayUs = mathx.Percentile(d, 95)
 		}
+	}
+	res.BssGoodputMbps = make([]float64, len(n.bss))
+	for i, b := range n.bssBytes {
+		res.BssGoodputMbps[i] = float64(8*b) / durationUs
 	}
 	for _, m := range n.media {
 		busy := m.busyUs

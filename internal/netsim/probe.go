@@ -114,6 +114,13 @@ const (
 	// EvRoam: a station reassociated. Node=station, Peer=new AP's node
 	// id, Value=old AP's node id.
 	EvRoam
+	// EvObssIgnore: OBSS-PD spatial reuse suppressed a carrier-sense
+	// deferral — an inter-BSS (different-color) frame arrived above the
+	// legacy CS threshold but below Config.ObssPdThresholdDBm, so the
+	// listener stayed free to transmit. Node=the listener, Peer=the
+	// ignored frame's transmitter, Frame/AC describe the frame, Value
+	// the received power in dBm it was judged at.
+	EvObssIgnore
 
 	// NumEventKinds sizes kind-indexed tables (filters, histograms).
 	NumEventKinds
@@ -134,6 +141,7 @@ var eventKindNames = [NumEventKinds]string{
 	EvEnqueue:          "enqueue",
 	EvQueueDrop:        "queue_drop",
 	EvRoam:             "roam",
+	EvObssIgnore:       "obss_ignore",
 }
 
 // String names the kind as it appears in JSONL traces ("tx_start", ...).

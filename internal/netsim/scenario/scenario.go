@@ -69,6 +69,14 @@ type Overrides struct {
 	// operation, 40 bonds {channel, channel+1} with partial-overlap
 	// interference between neighboring spans.
 	ChannelWidthMHz *int `json:"channel_width_mhz,omitempty"`
+	// Channels bounds the band: every AP channel must lie in
+	// [1, channels], and with channel_width_mhz 40 the bonded secondary
+	// channel+1 must fit too. Absent leaves channels unchecked.
+	Channels *int `json:"channels,omitempty"`
+	// ObssPdThresholdDBm enables OBSS-PD spatial reuse with BSS
+	// coloring: negative dBm, strictly above the carrier-sense
+	// threshold. Absent (or 0) keeps the mechanism off.
+	ObssPdThresholdDBm *float64 `json:"obss_pd_threshold_dbm,omitempty"`
 }
 
 // AP places one BSS's access point.
@@ -280,6 +288,22 @@ func (f *File) Validate() error {
 		if c.HtStreams != nil && (*c.HtStreams < 1 || *c.HtStreams > 4) {
 			return errf("config.ht_streams", "must be 1..4 spatial streams, got %d", *c.HtStreams)
 		}
+		if c.Channels != nil && *c.Channels < 1 {
+			return errf("config.channels", "must be a positive channel count, got %d", *c.Channels)
+		}
+		if c.ObssPdThresholdDBm != nil {
+			t := *c.ObssPdThresholdDBm
+			if math.IsNaN(t) || math.IsInf(t, 0) || t >= 0 {
+				return errf("config.obss_pd_threshold_dbm", "must be a negative finite dBm figure, got %v", t)
+			}
+			cs := netsim.DefaultConfig().CSThresholdDBm
+			if c.CSThresholdDBm != nil {
+				cs = *c.CSThresholdDBm
+			}
+			if t <= cs {
+				return errf("config.obss_pd_threshold_dbm", "must be above the carrier-sense threshold %v dBm (OBSS-PD relaxes deferral, it cannot tighten it), got %v", cs, t)
+			}
+		}
 	}
 	if len(f.APs) == 0 {
 		return errf("aps", "at least one AP is required")
@@ -296,6 +320,15 @@ func (f *File) Validate() error {
 		nodes[ap.Name] = path
 		if ap.Channel < 1 {
 			return errf(path+".channel", "must be a positive channel number, got %d", ap.Channel)
+		}
+		if c := f.Config; c != nil && c.Channels != nil {
+			if ap.Channel > *c.Channels {
+				return errf(path+".channel", "channel %d outside the band [1, %d] set by config.channels", ap.Channel, *c.Channels)
+			}
+			if c.ChannelWidthMHz != nil && *c.ChannelWidthMHz == 40 && ap.Channel+1 > *c.Channels {
+				return errf(path+".channel", "40 MHz span {%d, %d} exceeds config.channels = %d — the bonded secondary slot falls outside the band",
+					ap.Channel, ap.Channel+1, *c.Channels)
+			}
 		}
 	}
 	apIndex := map[string]bool{}
@@ -504,6 +537,12 @@ func (f *File) netConfig() netsim.Config {
 	}
 	if c.RateControl != nil {
 		cfg.RateControl = *c.RateControl
+	}
+	if c.Channels != nil {
+		cfg.Channels = *c.Channels
+	}
+	if c.ObssPdThresholdDBm != nil {
+		cfg.ObssPdThresholdDBm = *c.ObssPdThresholdDBm
 	}
 	if c.Edca {
 		e := netsim.DefaultEdca(cfg.Dcf, cfg.QueueLimit)

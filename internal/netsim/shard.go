@@ -82,6 +82,8 @@ type shard struct {
 	ampduHist             map[int]int
 	blockAckRetries       int
 	acBytesDelivered      [NumACs]int
+	obssIgnores           int
+	obssReuseTx           int
 
 	// outbox holds packets addressed to nodes of other shards, appended
 	// only by this shard's goroutine and drained in shard-index order at
@@ -193,6 +195,17 @@ type ShardPlan struct {
 	// decomposes into (1 when planning was skipped).
 	Groups int
 
+	// FlowEdgeMerges counts interaction groups that were distinct on
+	// radio coupling alone but were merged because a flow connects them
+	// — the planner's explicit closed-loop guarantee: transport feedback
+	// (Flow.Control fate hooks, transport.Conn ACK clocking) never
+	// crosses a shard seam, because any two BSSs a flow touches are
+	// forced onto one engine. The cost is lost parallelism: a single
+	// cross-floor flow can collapse an otherwise partitionable
+	// deployment to one group (Reason then says so). 0 when planning
+	// was skipped or no flow bridged separate groups.
+	FlowEdgeMerges int
+
 	// Reason, when non-empty, says why a multi-shard request fell back
 	// to single-engine execution.
 	Reason string
@@ -246,7 +259,14 @@ func (n *Network) channelsCouple(ca, cb int) bool {
 // deployment's most favorable shadowing draw, so no lucky pair reaches
 // across a seam; bonding's fractional overlap only attenuates received
 // power, so the unscaled range stays conservative for partially
-// overlapping channels too.
+// overlapping channels too. OBSS-PD spatial reuse needs no adjustment
+// either, in both directions: raising the deferral threshold only
+// SHRINKS the inter-BSS carrier-sense reach (while the interference
+// term at noise − interferenceMarginDB, which dominates this max,
+// already covers any frame that could perturb a victim's SINR), and
+// the coupled TX-power backoff only reduces radiated power — so the
+// full-power, legacy-CS figure computed here remains a superset of
+// every range the mechanism can produce.
 func (n *Network) interactRangeM() float64 {
 	b := n.cfg.Budget
 	gainDBm := b.TxPowerDBm + b.TxAntennaGain + b.RxAntennaGain - n.minShadowDB()
@@ -280,10 +300,13 @@ func (n *Network) minShadowDB() float64 {
 // same-channel node pair within interactRangeM — carrier sense, NAV
 // adoption, and SINR-relevant interference are all confined to a
 // channel — and (b) any flow connecting two BSSs (relay and downlink
-// traffic must stay on one engine). Groups come back as sorted BSS
-// index lists, ordered by their smallest member, so the partition is a
-// pure function of the topology.
-func (n *Network) interactionGroups() [][]int {
+// traffic must stay on one engine, so closed-loop transport feedback
+// never crosses an epoch barrier; flowMerges counts how many otherwise
+// distinct groups rule (b) collapsed — see ShardPlan.FlowEdgeMerges).
+// Groups come back as sorted BSS index lists, ordered by their
+// smallest member, so the partition is a pure function of the
+// topology.
+func (n *Network) interactionGroups() (out [][]int, flowMerges int) {
 	parent := make([]int, len(n.bss))
 	for i := range parent {
 		parent[i] = i
@@ -326,6 +349,9 @@ func (n *Network) interactionGroups() [][]int {
 		if f.To != nil {
 			to = f.To.bss
 		}
+		if find(f.From.bss.idx) != find(to.idx) {
+			flowMerges++
+		}
 		union(f.From.bss.idx, to.idx)
 	}
 	groups := make(map[int][]int)
@@ -338,11 +364,11 @@ func (n *Network) interactionGroups() [][]int {
 		groups[rt] = append(groups[rt], i)
 	}
 	sort.Ints(roots)
-	out := make([][]int, 0, len(roots))
+	out = make([][]int, 0, len(roots))
 	for _, rt := range roots {
 		out = append(out, groups[rt])
 	}
-	return out
+	return out, flowMerges
 }
 
 // balanceGroups assigns whole interaction groups to k shards, heaviest
@@ -401,8 +427,9 @@ func (n *Network) planShards() {
 		case n.probe != nil:
 			plan.Reason = "a single attached Probe cannot observe concurrent shards (use AttachShardProbes)"
 		default:
-			groups := n.interactionGroups()
+			groups, flowMerges := n.interactionGroups()
 			plan.Groups = len(groups)
+			plan.FlowEdgeMerges = flowMerges
 			if len(groups) < 2 {
 				plan.Reason = "floor is one coupled interaction group"
 			} else {

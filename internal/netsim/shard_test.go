@@ -70,6 +70,25 @@ func shardScenarios() []struct {
 			cfg.Aggregation = &agg
 			return DenseGrid(cfg, 9, 2, []int{1, 6, 11}, 25, 900)
 		}},
+		// The bonded floor with OBSS-PD coloring on. Reuse decisions
+		// read only same-medium state (the active list and per-listener
+		// heard power), so the planner's channel groups still hold and
+		// sharded execution must stay statistically equivalent with
+		// spatial reuse running hot. The 35 m pitch puts co-channel
+		// pairs (70 m, ~-75 dBm) in the window while leaving reused
+		// links enough SINR to mostly survive the -20 dB backoff —
+		// at tighter pitches reuse is all-or-nothing and the floor
+		// turns multi-stable, the same reason rate selection stays
+		// fixed here (see dense-grid-ht-bonded above).
+		{"dense-grid-obss-bonded", 1e5, 3, func(cfg Config) func(int64) *Network {
+			cfg.Modes = linkmodel.HtModes(2, 40)
+			cfg.ChannelWidthMHz = 40
+			agg := DefaultAggregation()
+			agg.MaxAmpduAirUs = 4000
+			cfg.Aggregation = &agg
+			cfg.ObssPdThresholdDBm = -62
+			return DenseGrid(cfg, 9, 2, []int{1, 6, 11}, 35, 900)
+		}},
 	}
 }
 
